@@ -1,0 +1,103 @@
+// Command htapctl drives an interactive-scale HTAP scenario and prints
+// the scheduler's behavior and system metrics — an operator's smoke test.
+//
+// Usage:
+//
+//	htapctl -sf 0.01 -rounds 10 -txns 500 -payment 20 -alpha 0.7 -query Q6
+//	htapctl -state S2            # pin a static state instead of adapting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"elastichtap"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "CH-benCHmark scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		rounds  = flag.Int("rounds", 10, "transaction/query rounds")
+		txns    = flag.Int("txns", 500, "transactions per round")
+		payment = flag.Int("payment", 0, "Payment percentage in the mix")
+		alpha   = flag.Float64("alpha", 0.7, "ETL sensitivity α")
+		state   = flag.String("state", "", "pin a static state: S1, S2, S3-IS, S3-NI (empty = adaptive)")
+		query   = flag.String("query", "Q6", "query per round: Q1, Q6, Q19")
+		emulate = flag.Float64("emulate", 300, "report timings as if at this scale factor")
+	)
+	flag.Parse()
+
+	cfg := elastichtap.DefaultConfig()
+	cfg.Alpha = *alpha
+	if *emulate > 0 && *sf > 0 {
+		cfg.ByteScale = *emulate / *sf
+	}
+	sys, err := elastichtap.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.LoadCH(*sf, *seed)
+	sys.StartWorkload(*payment)
+
+	var forced *elastichtap.State
+	if *state != "" {
+		st, err := parseState(*state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		forced = &st
+	}
+	pick := func() elastichtap.Query {
+		switch strings.ToUpper(*query) {
+		case "Q1":
+			return elastichtap.Q1(db)
+		case "Q19":
+			return elastichtap.Q19(db)
+		default:
+			return elastichtap.Q6(db)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tstate\tmethod\tresp (s)\tetl (s)\tfreshness\tOLTP MTPS")
+	for r := 1; r <= *rounds; r++ {
+		sys.Run(*txns)
+		rate, _ := sys.Freshness()
+		var rep elastichtap.QueryReport
+		if forced != nil {
+			rep, err = sys.QueryInState(pick(), *forced)
+		} else {
+			rep, err = sys.Query(pick())
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%.3f\t%.3f\t%.4f\t%.3f\n",
+			r, rep.State, rep.Method, rep.ResponseSeconds, rep.ETLSeconds,
+			rate, rep.OLTPDuringTPS/1e6)
+	}
+	tw.Flush()
+
+	fmt.Println("\nfinal system metrics:")
+	fmt.Print(sys.Metrics())
+}
+
+func parseState(s string) (elastichtap.State, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "_", "-")) {
+	case "S1":
+		return elastichtap.S1, nil
+	case "S2":
+		return elastichtap.S2, nil
+	case "S3-IS", "S3IS":
+		return elastichtap.S3IS, nil
+	case "S3-NI", "S3NI":
+		return elastichtap.S3NI, nil
+	default:
+		return 0, fmt.Errorf("htapctl: unknown state %q", s)
+	}
+}

@@ -1,0 +1,75 @@
+// Ad-hoc analytics: the paper's third workload class (§2.3) — dynamic
+// queries mixing historical and fresh data. The right state depends on how
+// much fresh data each query touches, which is only known at runtime; this
+// example contrasts the static schedules with the adaptive one on the same
+// query stream and prints the scheduler's decisions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elastichtap"
+)
+
+func main() {
+	// One system per schedule, fed the same deterministic stream.
+	type runner struct {
+		name  string
+		sys   *elastichtap.System
+		query func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error)
+	}
+	mk := func(name string, static *elastichtap.State) runner {
+		sys, err := elastichtap.New(elastichtap.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.LoadCH(0.01, 99)
+		sys.StartWorkload(10)
+		r := runner{name: name, sys: sys}
+		if static == nil {
+			r.query = func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error) {
+				return s.Query(q)
+			}
+		} else {
+			st := *static
+			r.query = func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error) {
+				return s.QueryInState(q, st)
+			}
+		}
+		return r
+	}
+	s2, s3 := elastichtap.S2, elastichtap.S3IS
+	runners := []runner{
+		mk("static-S2", &s2),
+		mk("static-S3-IS", &s3),
+		mk("adaptive", nil),
+	}
+
+	totals := map[string]float64{}
+	for round := 1; round <= 8; round++ {
+		for i := range runners {
+			runners[i].sys.Run(3000)
+		}
+		for i := range runners {
+			r := &runners[i]
+			q := elastichtap.Q19(r.sys.DB())
+			if round%2 == 0 {
+				q = elastichtap.Q1(r.sys.DB())
+			}
+			rep, err := r.query(r.sys, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[r.name] += rep.ResponseSeconds
+			if r.name == "adaptive" {
+				fmt.Printf("round %d: adaptive chose %-5v (%v) for %s, resp %.3fs\n",
+					round, rep.State, rep.Method, rep.Query, rep.ResponseSeconds)
+			}
+		}
+	}
+	fmt.Println("\ncumulative response time over the ad-hoc stream:")
+	for _, r := range runners {
+		fmt.Printf("  %-13s %.3fs\n", r.name, totals[r.name])
+	}
+}

@@ -1,0 +1,43 @@
+// Dashboard: the paper's "short and fresh" workload class (§2.3) — a high
+// rate of simple queries that must see the latest data. The scheduler
+// stays in hybrid states (split access over the freshest snapshot), never
+// paying an ETL, because each query touches only a sliver of fresh data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elastichtap"
+	"elastichtap/internal/ch"
+)
+
+func main() {
+	cfg := elastichtap.DefaultConfig()
+	cfg.Alpha = 0.95 // dashboards prefer freshness over ETL amortization
+	sys, err := elastichtap.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.LoadCH(0.01, 7)
+	sys.StartWorkload(20) // NewOrder + some Payments
+
+	fmt.Println("tick  state  method    resp(s)  fresh-rows  orders-today")
+	for tick := 1; tick <= 10; tick++ {
+		sys.Run(500)
+
+		// "Orders placed since this morning": Q6 restricted to today.
+		q := &ch.Q6{DB: db, DateLo: db.Day()}
+		rep, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %-5v  %-8v  %.4f   %-10d %.0f\n",
+			tick, rep.State, rep.Method, rep.ResponseSeconds,
+			rep.Nfq/db.OrderLine.Table().Schema().RowBytes(),
+			rep.Result.Rows[0][1])
+		if rep.ETLSeconds > 0 {
+			fmt.Println("      (unexpected ETL for a dashboard query)")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package elastichtap is an in-memory HTAP (Hybrid Transactional/Analytical
+// Processing) system with elastic resource scheduling, reproducing Raza et
+// al., "Adaptive HTAP through Elastic Resource Scheduling" (SIGMOD 2020).
+//
+// The system couples three engines over a modeled NUMA machine:
+//
+//   - an OLTP engine: twin-instance columnar storage, MV2PL snapshot
+//     isolation, cuckoo-hash indexes, an elastic worker pool;
+//   - an OLAP engine: morsel-parallel columnar scans with pluggable access
+//     paths (contiguous, split fresh/cold);
+//   - an RDE (Resource and Data Exchange) engine that owns cores and
+//     memory, switches the OLTP active instance, synchronizes the twins,
+//     and ETLs fresh deltas into the OLAP replicas.
+//
+// A freshness-driven scheduler (the paper's Algorithms 1 and 2) migrates
+// the system between states S1 (co-located), S2 (isolated + ETL), S3-IS
+// (hybrid isolated) and S3-NI (hybrid non-isolated) per query.
+//
+// Quickstart:
+//
+//	sys, _ := elastichtap.New(elastichtap.DefaultConfig())
+//	db := sys.LoadCH(0.01, 42)          // CH-benCHmark at SF 0.01
+//	sys.StartWorkload(0)                // NewOrder-only mix
+//	sys.Run(1000)                       // execute 1000 transactions
+//	rep, _ := sys.Query(elastichtap.Q6(db))
+//	fmt.Println(rep.State, rep.ResponseSeconds, rep.Result.Rows)
+package elastichtap
+
+import (
+	"fmt"
+	"io"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/checkpoint"
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/core"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/metrics"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/rde"
+	"elastichtap/internal/topology"
+)
+
+// Config configures a System. Zero value is unusable; start from
+// DefaultConfig and override.
+type Config struct {
+	// Sockets and CoresPerSocket describe the modeled machine.
+	Sockets, CoresPerSocket int
+	// LocalBW and InterconnectBW are bytes/second.
+	LocalBW, InterconnectBW float64
+	// Alpha is the scheduler's ETL sensitivity α ∈ [0,1].
+	Alpha float64
+	// Elasticity enables compute exchange between the engines (Fel).
+	Elasticity bool
+	// PreferColocation selects S1 over S3-NI when elastic (Mel).
+	PreferColocation bool
+	// ElasticCores bounds how many cores migrations move.
+	ElasticCores int
+	// ByteScale multiplies measured bytes before the cost model, letting a
+	// small database emulate a larger scale factor's timings.
+	ByteScale float64
+}
+
+// DefaultConfig mirrors the paper's evaluation setup: a 2x14-core server,
+// α=0.5, hybrid elasticity with 4 elastic cores.
+func DefaultConfig() Config {
+	topo := topology.DefaultConfig()
+	sched := core.DefaultConfig(topo.Sockets, topo.CoresPerSocket)
+	return Config{
+		Sockets:        topo.Sockets,
+		CoresPerSocket: topo.CoresPerSocket,
+		LocalBW:        topo.LocalBW,
+		InterconnectBW: topo.InterconnectBW,
+		Alpha:          sched.Alpha,
+		Elasticity:     sched.Elasticity,
+		ElasticCores:   sched.ElasticCores,
+		ByteScale:      1,
+	}
+}
+
+// State re-exports the scheduler states for report inspection.
+type State = core.State
+
+// The four system states (§3.4).
+const (
+	S1   = core.S1
+	S2   = core.S2
+	S3IS = core.S3IS
+	S3NI = core.S3NI
+)
+
+// QueryReport re-exports the per-query scheduling outcome.
+type QueryReport = core.QueryReport
+
+// Query is any analytical query the OLAP engine can execute.
+type Query = olap.Query
+
+// DB is a loaded CH-benCHmark database.
+type DB = ch.DB
+
+// System is the assembled HTAP system.
+type System struct {
+	inner *core.System
+	db    *ch.DB
+}
+
+// New builds a system from the configuration.
+func New(cfg Config) (*System, error) {
+	sysCfg := core.DefaultSystemConfig()
+	if cfg.Sockets > 0 {
+		sysCfg.Topology.Sockets = cfg.Sockets
+	}
+	if cfg.CoresPerSocket > 0 {
+		sysCfg.Topology.CoresPerSocket = cfg.CoresPerSocket
+	}
+	if cfg.LocalBW > 0 {
+		sysCfg.Topology.LocalBW = cfg.LocalBW
+	}
+	if cfg.InterconnectBW > 0 {
+		sysCfg.Topology.InterconnectBW = cfg.InterconnectBW
+	}
+	sysCfg.Scheduler = core.DefaultConfig(sysCfg.Topology.Sockets, sysCfg.Topology.CoresPerSocket)
+	if cfg.Alpha > 0 {
+		sysCfg.Scheduler.Alpha = cfg.Alpha
+	}
+	sysCfg.Scheduler.Elasticity = cfg.Elasticity
+	if cfg.PreferColocation {
+		sysCfg.Scheduler.Mode = core.ModeColocation
+	}
+	if cfg.ElasticCores > 0 {
+		sysCfg.Scheduler.ElasticCores = cfg.ElasticCores
+	}
+	if cfg.ByteScale > 0 {
+		sysCfg.ByteScale = cfg.ByteScale
+	}
+	inner, err := core.NewSystem(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Core exposes the underlying system for advanced use (experiments,
+// custom workloads, direct engine access).
+func (s *System) Core() *core.System { return s.inner }
+
+// LoadCH generates and loads a CH-benCHmark database at the given scale
+// factor with a deterministic seed, then synchronizes the OLAP replicas
+// (freshness-rate 1).
+func (s *System) LoadCH(scaleFactor float64, seed int64) *DB {
+	s.db = ch.Load(s.inner.OLTPE, ch.SizingForScale(scaleFactor), seed)
+	s.inner.PrimeReplicas()
+	return s.db
+}
+
+// DB returns the loaded database, or nil.
+func (s *System) DB() *DB { return s.db }
+
+// StartWorkload installs the TPC-C transaction mix: paymentPct percent
+// Payment, the rest NewOrder, one warehouse per worker (§5.1).
+func (s *System) StartWorkload(paymentPct int) {
+	s.inner.OLTPE.Workers().SetWorkload(ch.NewMix(s.db, paymentPct, 1))
+}
+
+// Run synchronously executes n transactions across the OLTP worker pool.
+func (s *System) Run(n int) { s.inner.InjectTransactions(n) }
+
+// Query schedules and executes an analytical query adaptively: the
+// scheduler measures freshness, picks a state (Algorithm 2), migrates
+// resources (Algorithm 1), optionally ETLs, and executes.
+func (s *System) Query(q Query) (QueryReport, error) {
+	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{}, nil)
+	return rep, err
+}
+
+// QueryInState executes the query with the system pinned to a state
+// (static schedules, A/B comparisons).
+func (s *System) QueryInState(q Query, st State) (QueryReport, error) {
+	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{ForceState: core.ForcedState(st)}, nil)
+	return rep, err
+}
+
+// QueryBatch executes a batch of queries over one shared snapshot with a
+// single ETL (the paper's query-batch class, §2.3/§4.2).
+func (s *System) QueryBatch(qs []Query) ([]QueryReport, error) {
+	var out []QueryReport
+	var set *rde.SnapshotSet
+	for _, q := range qs {
+		opt := core.QueryOptions{Batch: true}
+		if set != nil {
+			opt.SkipSwitch = true
+		}
+		rep, next, err := s.inner.RunQuery(q, opt, set)
+		if err != nil {
+			return out, err
+		}
+		set = next
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// OLTPThroughput reports the modeled transactional throughput with the
+// current placement and no analytical interference.
+func (s *System) OLTPThroughput() float64 { return s.inner.OLTPThroughputNow() }
+
+// CurrentState returns the scheduler's current state.
+func (s *System) CurrentState() State { return s.inner.Sched.State() }
+
+// Freshness reports the current freshness-rate metric (1 = replicas fully
+// synchronized) and the outstanding fresh bytes.
+func (s *System) Freshness() (rate float64, freshBytes int64) {
+	f := s.inner.X.MeasureFreshness(s.inner.OLTPE.Tables(), ch.TOrderLine, 1)
+	return f.Rate, f.Nft
+}
+
+// Q1, Q6 and Q19 build the paper's evaluation queries over a database.
+func Q1(db *DB) Query  { return &ch.Q1{DB: db} }
+func Q6(db *DB) Query  { return &ch.Q6{DB: db} }
+func Q19(db *DB) Query { return &ch.Q19{DB: db} }
+
+// WorkClasses re-exported for custom queries.
+type WorkClass = costmodel.WorkClass
+
+// Work classes for custom olap.Query implementations.
+const (
+	ScanReduce  = costmodel.ScanReduce
+	ScanGroupBy = costmodel.ScanGroupBy
+	JoinProbe   = costmodel.JoinProbe
+)
+
+// Checkpoint writes a consistent snapshot of the named table to w: the
+// active instance is switched and the quiescent twin serialized while
+// transactions continue (internal/checkpoint). Returns the rows written.
+func (s *System) Checkpoint(w io.Writer, table string) (int64, error) {
+	h := s.inner.OLTPE.Table(table)
+	if h == nil {
+		return 0, fmt.Errorf("elastichtap: unknown table %q", table)
+	}
+	set := s.inner.X.SwitchAndSync([]*oltp.TableHandle{h})
+	snap := set.Snap(table)
+	if err := checkpoint.Write(w, h.Table(), snap.Inst, snap.Rows); err != nil {
+		return 0, err
+	}
+	return snap.Rows, nil
+}
+
+// RestoreTable reads a checkpoint produced by Checkpoint into a fresh
+// standalone table (not registered with the running system).
+func RestoreTable(r io.Reader) (*columnar.Table, error) {
+	return checkpoint.Read(r)
+}
+
+// Metrics returns a system-wide observability snapshot.
+func (s *System) Metrics() metrics.Snapshot { return s.inner.Metrics() }

@@ -1,0 +1,145 @@
+package elastichtap
+
+import (
+	"testing"
+)
+
+func newSystem(t *testing.T) (*System, *DB) {
+	t.Helper()
+	cfg := DefaultConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.LoadCH(0.005, 1)
+	sys.StartWorkload(0)
+	return sys, db
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, db := newSystem(t)
+	if sys.DB() != db {
+		t.Fatal("DB accessor broken")
+	}
+	rate, fresh := sys.Freshness()
+	if rate < 0.999 || fresh != 0 {
+		t.Fatalf("after load: rate=%v fresh=%d", rate, fresh)
+	}
+	sys.Run(100)
+	rate, fresh = sys.Freshness()
+	if rate >= 1 || fresh == 0 {
+		t.Fatalf("after txns: rate=%v fresh=%d", rate, fresh)
+	}
+	rep, err := sys.Query(Q6(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Result.Rows) != 1 || rep.Result.Rows[0][1] <= 0 {
+		t.Fatalf("Q6 result = %+v", rep.Result)
+	}
+	if sys.OLTPThroughput() <= 0 {
+		t.Fatal("throughput model broken")
+	}
+}
+
+func TestFacadeStaticStates(t *testing.T) {
+	sys, db := newSystem(t)
+	sys.Run(50)
+	var counts []float64
+	for _, st := range []State{S1, S2, S3IS, S3NI} {
+		rep, err := sys.QueryInState(Q1(db), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.State != st {
+			t.Fatalf("state = %v, want %v", rep.State, st)
+		}
+		var c float64
+		for _, row := range rep.Result.Rows {
+			c += row[5]
+		}
+		counts = append(counts, c)
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("states disagree: %v", counts)
+		}
+	}
+	if sys.CurrentState() != S3NI {
+		t.Fatalf("current state = %v", sys.CurrentState())
+	}
+}
+
+func TestFacadeQueryBatch(t *testing.T) {
+	sys, db := newSystem(t)
+	sys.Run(50)
+	reps, err := sys.QueryBatch([]Query{Q1(db), Q6(db), Q19(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	// Batches go to S2 (Algorithm 2's QueryBatch branch).
+	for _, rep := range reps {
+		if rep.State != S2 {
+			t.Fatalf("batch query state = %v, want S2", rep.State)
+		}
+	}
+	// Only the first pays the switch+ETL; the rest reuse the snapshot.
+	if reps[1].SyncSeconds != 0 || reps[2].SyncSeconds != 0 {
+		t.Fatal("batch re-switched mid-flight")
+	}
+}
+
+func TestFacadeConfigKnobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.9
+	cfg.Elasticity = false
+	cfg.ElasticCores = 2
+	cfg.ByteScale = 1000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.LoadCH(0.005, 2)
+	sys.StartWorkload(0)
+	sys.Run(30)
+	rep, err := sys.Query(Q6(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elasticity off: the hybrid branch of Algorithm 2 must pick S3-IS.
+	if rep.State != S3IS && rep.State != S2 {
+		t.Fatalf("state = %v, want S3-IS (or S2 past threshold)", rep.State)
+	}
+
+	cfg = DefaultConfig()
+	cfg.PreferColocation = true
+	cfg.Alpha = 0.95
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := sys2.LoadCH(0.005, 2)
+	sys2.StartWorkload(0)
+	sys2.Run(30)
+	rep2, err := sys2.Query(Q6(db2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.State != S1 {
+		t.Fatalf("co-location mode state = %v, want S1", rep2.State)
+	}
+}
+
+func TestFacadeCoreAccess(t *testing.T) {
+	sys, _ := newSystem(t)
+	if sys.Core() == nil || sys.Core().Sched == nil {
+		t.Fatal("core access broken")
+	}
+	m := sys.Core().Metrics()
+	if m.Tables == 0 {
+		t.Fatal("metrics through facade broken")
+	}
+}

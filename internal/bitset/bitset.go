@@ -1,0 +1,179 @@
+// Package bitset provides a concurrency-safe, growable bitmap used for the
+// per-record update-indication bits of the OLTP storage manager (§3.2).
+// Bits are set by transaction workers at commit time and cleared by the RDE
+// engine during instance synchronization, so all accesses use atomics.
+package bitset
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Atomic is a bitmap whose Set/Clear/Test operations are safe for
+// concurrent use. Growth takes a short exclusive lock; steady-state
+// operations only take a read lock plus one atomic word access.
+type Atomic struct {
+	mu    sync.RWMutex
+	words []uint64
+	n     int // logical length in bits
+}
+
+// New returns a bitmap with capacity for n bits, all zero.
+func New(n int) *Atomic {
+	if n < 0 {
+		n = 0
+	}
+	return &Atomic{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the logical size of the bitmap in bits.
+func (b *Atomic) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// Grow extends the bitmap to hold at least n bits (new bits are zero).
+func (b *Atomic) Grow(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= b.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(b.words) {
+		words := make([]uint64, need+need/2)
+		copy(words, b.words)
+		b.words = words
+	}
+	b.n = n
+}
+
+// Set sets bit i, growing the bitmap if needed. It reports whether the bit
+// transitioned from 0 to 1.
+func (b *Atomic) Set(i int) bool {
+	if i < 0 {
+		return false
+	}
+	b.mu.RLock()
+	if i < b.n {
+		old := orWord(&b.words[i/wordBits], uint64(1)<<(i%wordBits))
+		b.mu.RUnlock()
+		return old&(uint64(1)<<(i%wordBits)) == 0
+	}
+	b.mu.RUnlock()
+	b.Grow(i + 1)
+	return b.Set(i)
+}
+
+// Clear clears bit i. It reports whether the bit transitioned from 1 to 0.
+func (b *Atomic) Clear(i int) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if i < 0 || i >= b.n {
+		return false
+	}
+	mask := uint64(1) << (i % wordBits)
+	old := andWord(&b.words[i/wordBits], ^mask)
+	return old&mask != 0
+}
+
+// orWord and andWord are CAS-loop equivalents of atomic.{Or,And}Uint64,
+// which the toolchain in use miscompiles (clobbered register across the
+// intrinsic's internal retry loop).
+func orWord(addr *uint64, mask uint64) (old uint64) {
+	for {
+		old = atomic.LoadUint64(addr)
+		if old&mask == mask || atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return old
+		}
+	}
+}
+
+func andWord(addr *uint64, mask uint64) (old uint64) {
+	for {
+		old = atomic.LoadUint64(addr)
+		if old == old&mask || atomic.CompareAndSwapUint64(addr, old, old&mask) {
+			return old
+		}
+	}
+}
+
+// Test reports whether bit i is set.
+func (b *Atomic) Test(i int) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return atomic.LoadUint64(&b.words[i/wordBits])&(uint64(1)<<(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Atomic) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c := 0
+	for i := range b.words {
+		c += bits.OnesCount64(atomic.LoadUint64(&b.words[i]))
+	}
+	return c
+}
+
+// ForEachSet calls fn for every set bit in ascending order. The iteration
+// sees a weakly consistent view under concurrent mutation, which matches
+// the RDE's needs: bits set after the scan started may or may not be seen.
+func (b *Atomic) ForEachSet(fn func(i int)) {
+	b.mu.RLock()
+	words, n := b.words, b.n
+	b.mu.RUnlock()
+	for wi := range words {
+		w := atomic.LoadUint64(&words[wi])
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi*wordBits + bit
+			if i >= n {
+				return
+			}
+			fn(i)
+			w &^= 1 << bit
+		}
+	}
+}
+
+// DrainSet atomically claims and clears set bits, invoking fn once per
+// claimed bit. It is the primitive behind the RDE's "copy the record, then
+// clear the corresponding bit" sync loop (§3.4 S2): concurrent setters
+// after the claim are preserved for the next sync.
+func (b *Atomic) DrainSet(fn func(i int)) int {
+	b.mu.RLock()
+	words, n := b.words, b.n
+	b.mu.RUnlock()
+	drained := 0
+	for wi := range words {
+		w := atomic.SwapUint64(&words[wi], 0)
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi*wordBits + bit
+			w &^= 1 << bit
+			if i >= n {
+				continue
+			}
+			fn(i)
+			drained++
+		}
+	}
+	return drained
+}
+
+// Reset clears all bits without shrinking.
+func (b *Atomic) Reset() {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for i := range b.words {
+		atomic.StoreUint64(&b.words[i], 0)
+	}
+}

@@ -1,0 +1,179 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"elastichtap/internal/columnar"
+)
+
+func TestQ3MatchesReference(t *testing.T) {
+	db := loadTiny(t)
+	// Create undelivered orders.
+	mgr := db.Engine.Manager()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		if _, err := mgr.RunWithRetry(10, db.NewOrder(rng, 1+int64(i%2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := execOnActive(t, db, &Q3{DB: db, TopN: 5})
+
+	// Reference: revenue per undelivered order.
+	ot := db.Orders.Table()
+	undelivered := map[uint64]bool{}
+	for r := int64(0); r < ot.Rows(); r++ {
+		if ot.ReadActive(r, OCarrierID) == 0 {
+			k := OrderKey(ot.ReadActive(r, OWID), ot.ReadActive(r, ODID), ot.ReadActive(r, OID))
+			undelivered[k] = true
+		}
+	}
+	olt := db.OrderLine.Table()
+	rev := map[uint64]float64{}
+	for r := int64(0); r < olt.Rows(); r++ {
+		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
+		if undelivered[k] {
+			rev[k] += columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q3 returned no rows despite undelivered orders")
+	}
+	if len(res.Rows) > 5 {
+		t.Fatalf("TopN violated: %d rows", len(res.Rows))
+	}
+	// Rows must be sorted by revenue descending and match the reference.
+	prev := res.Rows[0][1]
+	for _, row := range res.Rows {
+		k, got := uint64(row[0]), row[1]
+		want := rev[k]
+		if d := got - want; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("order %d revenue = %v, want %v", k, got, want)
+		}
+		if got > prev {
+			t.Fatal("rows not sorted by revenue")
+		}
+		prev = got
+	}
+}
+
+func TestQ4MatchesReference(t *testing.T) {
+	db := loadTiny(t)
+	res := execOnActive(t, db, &Q4{DB: db})
+
+	ot, olt := db.Orders.Table(), db.OrderLine.Table()
+	entry := map[uint64]int64{}
+	cnt := map[uint64]int64{}
+	for r := int64(0); r < ot.Rows(); r++ {
+		k := OrderKey(ot.ReadActive(r, OWID), ot.ReadActive(r, ODID), ot.ReadActive(r, OID))
+		entry[k] = ot.ReadActive(r, OEntryD)
+		cnt[k] = ot.ReadActive(r, OOlCnt)
+	}
+	qual := map[uint64]bool{}
+	for r := int64(0); r < olt.Rows(); r++ {
+		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
+		if ed, ok := entry[k]; ok && olt.ReadActive(r, OLDeliveryD) >= ed {
+			qual[k] = true
+		}
+	}
+	want := map[int64]int64{}
+	for k := range qual {
+		want[cnt[k]]++
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("buckets = %d, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		if int64(row[1]) != want[int64(row[0])] {
+			t.Fatalf("bucket %v count = %v, want %d", row[0], row[1], want[int64(row[0])])
+		}
+	}
+}
+
+func TestQ12MatchesReference(t *testing.T) {
+	db := loadTiny(t)
+	res := execOnActive(t, db, &Q12{DB: db})
+
+	ot, olt := db.Orders.Table(), db.OrderLine.Table()
+	carrier := map[uint64]int64{}
+	cnt := map[uint64]int64{}
+	for r := int64(0); r < ot.Rows(); r++ {
+		k := OrderKey(ot.ReadActive(r, OWID), ot.ReadActive(r, ODID), ot.ReadActive(r, OID))
+		carrier[k] = ot.ReadActive(r, OCarrierID)
+		cnt[k] = ot.ReadActive(r, OOlCnt)
+	}
+	high, low := map[int64]int64{}, map[int64]int64{}
+	for r := int64(0); r < olt.Rows(); r++ {
+		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
+		car, ok := carrier[k]
+		if !ok {
+			continue
+		}
+		if car == 1 || car == 2 {
+			high[cnt[k]]++
+		} else {
+			low[cnt[k]]++
+		}
+	}
+	var wantHigh, wantLow, gotHigh, gotLow int64
+	for _, v := range high {
+		wantHigh += v
+	}
+	for _, v := range low {
+		wantLow += v
+	}
+	for _, row := range res.Rows {
+		gotHigh += int64(row[1])
+		gotLow += int64(row[2])
+	}
+	if gotHigh != wantHigh || gotLow != wantLow {
+		t.Fatalf("high/low = %d/%d, want %d/%d", gotHigh, gotLow, wantHigh, wantLow)
+	}
+}
+
+func TestQ14MatchesReference(t *testing.T) {
+	db := loadTiny(t)
+	res := execOnActive(t, db, &Q14{DB: db})
+
+	it, olt := db.Item.Table(), db.OrderLine.Table()
+	promo := map[int64]bool{}
+	for r := int64(0); r < it.Rows(); r++ {
+		data := it.DecodeValue(IData, it.ReadActive(r, IData)).(string)
+		promo[it.ReadActive(r, IID)] = data == "ORIGINAL"
+	}
+	var wantPromo, wantTotal float64
+	for r := int64(0); r < olt.Rows(); r++ {
+		isP, ok := promo[olt.ReadActive(r, OLIID)]
+		if !ok {
+			continue
+		}
+		amt := columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
+		wantTotal += amt
+		if isP {
+			wantPromo += amt
+		}
+	}
+	if d := res.Rows[0][1] - wantPromo; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("promo revenue = %v, want %v", res.Rows[0][1], wantPromo)
+	}
+	if d := res.Rows[0][2] - wantTotal; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("total revenue = %v, want %v", res.Rows[0][2], wantTotal)
+	}
+	wantShare := 100 * wantPromo / wantTotal
+	if d := res.Rows[0][0] - wantShare; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("share = %v, want %v", res.Rows[0][0], wantShare)
+	}
+}
+
+func TestExtendedQuerySetExecutes(t *testing.T) {
+	db := loadTiny(t)
+	for _, q := range db.ExtendedQuerySet() {
+		res := execOnActive(t, db, q)
+		if q.FactTable() != TOrderLine {
+			t.Fatalf("%s fact table = %s", q.Name(), q.FactTable())
+		}
+		if len(res.Cols) == 0 {
+			t.Fatalf("%s produced no columns", q.Name())
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/txn"
+)
+
+// lookup resolves a primary key to a row ID via the cuckoo index.
+func lookup(h *oltp.TableHandle, key uint64) (int64, error) {
+	row, ok := h.Index.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("ch: key %d not found in %s index", key, h.Table().Schema().Name)
+	}
+	return int64(row), nil
+}
+
+// NewOrder builds the TPC-C NewOrder transaction body for warehouse w:
+// read the customer's district, claim the next order id, read item prices,
+// decrement stock read-modify-write, and insert the order, its neworder
+// marker and 5-15 order lines (per the TPC-C specification, §5.1).
+func (db *DB) NewOrder(rng *rand.Rand, w int64) oltp.TxnFunc {
+	s := db.Sizing
+	d := 1 + rng.Int63n(int64(s.DistrictsPerWH))
+	c := 1 + rng.Int63n(int64(s.CustomersPerDistrict))
+	olCnt := 5 + rng.Intn(11)
+	items := make([]int64, olCnt)
+	qtys := make([]int64, olCnt)
+	for i := range items {
+		items[i] = 1 + rng.Int63n(int64(s.Items))
+		qtys[i] = 1 + rng.Int63n(10)
+	}
+	day := db.Day()
+
+	return func(t *txn.Txn) error {
+		dRow, err := lookup(db.District, DistrictKey(w, d))
+		if err != nil {
+			return err
+		}
+		oID, ok := t.Read(db.District.Ref, dRow, DNextOID)
+		if !ok {
+			return fmt.Errorf("ch: district row %d invisible", dRow)
+		}
+		if err := t.Write(db.District.Ref, dRow, DNextOID, oID+1); err != nil {
+			return err
+		}
+
+		ot := db.Orders.Table()
+		orderRow := ot.EncodeRow(oID, d, w, c, day, int64(0), int64(olCnt), int64(1))
+		if err := t.Insert(db.Orders.Ref, [][]int64{orderRow}, func(first int64) {
+			db.Orders.Index.Put(OrderKey(w, d, oID), uint64(first))
+		}); err != nil {
+			return err
+		}
+		nt := db.NewOrderT.Table()
+		if err := t.Insert(db.NewOrderT.Ref, [][]int64{nt.EncodeRow(oID, d, w)}, nil); err != nil {
+			return err
+		}
+
+		olt := db.OrderLine.Table()
+		lines := make([][]int64, 0, olCnt)
+		for i := 0; i < olCnt; i++ {
+			iRow, err := lookup(db.Item, ItemKey(items[i]))
+			if err != nil {
+				return err
+			}
+			priceW, ok := t.Read(db.Item.Ref, iRow, IPrice)
+			if !ok {
+				return fmt.Errorf("ch: item row %d invisible", iRow)
+			}
+			price := columnar.DecodeFloat(priceW)
+
+			sRow, err := lookup(db.Stock, StockKey(w, items[i]))
+			if err != nil {
+				return err
+			}
+			qty := qtys[i]
+			if err := t.WriteFunc(db.Stock.Ref, sRow, SQuantity, func(old int64) int64 {
+				if old-qty >= 10 {
+					return old - qty
+				}
+				return old - qty + 91
+			}); err != nil {
+				return err
+			}
+			if err := t.WriteFunc(db.Stock.Ref, sRow, SOrderCnt, func(old int64) int64 {
+				return old + 1
+			}); err != nil {
+				return err
+			}
+			lines = append(lines, olt.EncodeRow(
+				oID, d, w, int64(i+1), items[i], w, day,
+				qty, float64(qty)*price, "dist-txn",
+			))
+		}
+		return t.Insert(db.OrderLine.Ref, lines, nil)
+	}
+}
+
+// Payment builds the TPC-C Payment transaction body: update warehouse and
+// district year-to-date totals, update the customer's balance and payment
+// counters, and insert a history record. It is the update-heavy complement
+// to NewOrder used by the freshness experiments that need modified (not
+// just inserted) tuples.
+func (db *DB) Payment(rng *rand.Rand, w int64) oltp.TxnFunc {
+	s := db.Sizing
+	d := 1 + rng.Int63n(int64(s.DistrictsPerWH))
+	c := 1 + rng.Int63n(int64(s.CustomersPerDistrict))
+	amount := 1 + rng.Float64()*4999
+	day := db.Day()
+
+	return func(t *txn.Txn) error {
+		wRow, err := lookup(db.Warehouse, WarehouseKey(w))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteFunc(db.Warehouse.Ref, wRow, WYtd, addFloat(amount)); err != nil {
+			return err
+		}
+		dRow, err := lookup(db.District, DistrictKey(w, d))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteFunc(db.District.Ref, dRow, DYtd, addFloat(amount)); err != nil {
+			return err
+		}
+		cRow, err := lookup(db.Customer, CustomerKey(w, d, c))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteFunc(db.Customer.Ref, cRow, CBalance, addFloat(-amount)); err != nil {
+			return err
+		}
+		if err := t.WriteFunc(db.Customer.Ref, cRow, CYtdPayment, addFloat(amount)); err != nil {
+			return err
+		}
+		if err := t.WriteFunc(db.Customer.Ref, cRow, CPaymentCnt, func(old int64) int64 {
+			return old + 1
+		}); err != nil {
+			return err
+		}
+		ht := db.History.Table()
+		return t.Insert(db.History.Ref, [][]int64{
+			ht.EncodeRow(c, d, w, d, w, day, amount),
+		}, nil)
+	}
+}
+
+func addFloat(delta float64) func(old int64) int64 {
+	return func(old int64) int64 {
+		return columnar.EncodeFloat(columnar.DecodeFloat(old) + delta)
+	}
+}
+
+// Mix is an oltp.Workload generating NewOrder (and optionally Payment)
+// transactions. Each worker owns one warehouse, the paper's configuration
+// ("we assign one warehouse to every worker thread", §5.1), with its own
+// deterministic RNG.
+type Mix struct {
+	DB *DB
+	// PaymentPct is the percentage (0-100) of Payment transactions.
+	PaymentPct int
+
+	mu   sync.Mutex
+	rngs map[int]*rand.Rand
+	seed int64
+}
+
+// NewMix returns a workload mix with deterministic per-worker RNGs.
+func NewMix(db *DB, paymentPct int, seed int64) *Mix {
+	return &Mix{DB: db, PaymentPct: paymentPct, rngs: map[int]*rand.Rand{}, seed: seed}
+}
+
+func (m *Mix) rng(worker int) *rand.Rand {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rngs[worker]
+	if r == nil {
+		r = rand.New(rand.NewSource(m.seed + int64(worker)*7919))
+		m.rngs[worker] = r
+	}
+	return r
+}
+
+// Next implements oltp.Workload.
+func (m *Mix) Next(worker int) oltp.TxnFunc {
+	r := m.rng(worker)
+	m.mu.Lock()
+	w := int64(worker%m.DB.Sizing.Warehouses) + 1
+	pct := m.PaymentPct
+	m.mu.Unlock()
+	if pct > 0 && r.Intn(100) < pct {
+		return m.DB.Payment(r, w)
+	}
+	return m.DB.NewOrder(r, w)
+}

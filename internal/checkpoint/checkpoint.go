@@ -1,0 +1,216 @@
+// Package checkpoint serializes consistent table snapshots. The twin-
+// instance design descends from checkpointing schemes (Twin Blocks, Cao et
+// al., cited in §3.2): after an instance switch, the inactive instance is
+// a quiescent, consistent snapshot that can be written out while
+// transactions continue on the active instance — checkpointing without a
+// stop-the-world pause.
+//
+// Format (little-endian):
+//
+//	magic "EHCP" | version u32
+//	schema: name, column count, per column (name, type)
+//	rows u64
+//	per column: rows raw words
+//	per String column: dictionary (count, strings)
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"elastichtap/internal/columnar"
+)
+
+const (
+	magic   = "EHCP"
+	version = 1
+)
+
+// Write serializes rows [0, rows) of the snapshot instance of a table.
+// The instance must be quiescent below the watermark (an inactive
+// instance after Switch, or any instance with no concurrent writers).
+func Write(w io.Writer, t *columnar.Table, inst *columnar.Instance, rows int64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(version)); err != nil {
+		return err
+	}
+	schema := t.Schema()
+	if err := writeString(bw, schema.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(schema.Columns))); err != nil {
+		return err
+	}
+	for _, c := range schema.Columns {
+		if err := writeString(bw, c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(rows)); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for c := range schema.Columns {
+		var werr error
+		inst.Col(c).Scan(0, rows, func(vals []int64, _ int64) {
+			if werr != nil {
+				return
+			}
+			for _, v := range vals {
+				binary.LittleEndian.PutUint64(buf, uint64(v))
+				if _, err := bw.Write(buf); err != nil {
+					werr = err
+					return
+				}
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	for c, def := range schema.Columns {
+		if def.Type != columnar.String {
+			continue
+		}
+		d := t.Dict(c)
+		n := d.Len()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(n)); err != nil {
+			return err
+		}
+		for code := 0; code < n; code++ {
+			if err := writeString(bw, d.Str(int64(code))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read restores a checkpoint into a fresh twin-instance table. Both
+// instances receive the data (as a load would), with commit timestamp 0.
+func Read(r io.Reader) (*columnar.Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", head)
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var ncols uint32
+	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
+		return nil, err
+	}
+	schema := columnar.Schema{Name: name}
+	for i := uint32(0); i < ncols; i++ {
+		cname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		schema.Columns = append(schema.Columns, columnar.ColumnDef{
+			Name: cname, Type: columnar.Type(tb),
+		})
+	}
+	var rows uint64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	t := columnar.NewTable(schema, int64(rows))
+
+	cols := make([][]int64, ncols)
+	buf := make([]byte, 8)
+	for c := range cols {
+		cols[c] = make([]int64, rows)
+		for i := uint64(0); i < rows; i++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("checkpoint: column %d row %d: %w", c, i, err)
+			}
+			cols[c][i] = int64(binary.LittleEndian.Uint64(buf))
+		}
+	}
+	// Dictionaries must be rebuilt before rows are appended so that raw
+	// codes remain valid: codes are assigned in order of first appearance,
+	// and the checkpoint stores them in code order.
+	for c, def := range schema.Columns {
+		if def.Type != columnar.String {
+			continue
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		d := t.Dict(c)
+		for code := uint32(0); code < n; code++ {
+			s, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			if got := d.Code(s); got != int64(code) {
+				return nil, fmt.Errorf("checkpoint: dictionary code drift: %q -> %d, want %d", s, got, code)
+			}
+		}
+	}
+	const batch = 1 << 13
+	rowsBuf := make([][]int64, 0, batch)
+	for i := uint64(0); i < rows; i++ {
+		row := make([]int64, ncols)
+		for c := range cols {
+			row[c] = cols[c][i]
+		}
+		rowsBuf = append(rowsBuf, row)
+		if len(rowsBuf) == batch {
+			t.AppendRows(rowsBuf, 0)
+			rowsBuf = rowsBuf[:0]
+		}
+	}
+	if len(rowsBuf) > 0 {
+		t.AppendRows(rowsBuf, 0)
+	}
+	return t, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("checkpoint: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,61 @@
+package columnar
+
+import "sync"
+
+// Dict is an order-of-arrival string dictionary shared by both instances of
+// a String column. Codes are stable once assigned, so the twin instances
+// and the OLAP replica can exchange raw code words without re-encoding.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[string]int64
+	strs  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Code returns the code for s, assigning a new one if absent.
+func (d *Dict) Code(s string) int64 {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c = int64(len(d.strs))
+	d.codes[s] = c
+	d.strs = append(d.strs, s)
+	return c
+}
+
+// Lookup returns the code for s without assigning one.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Str returns the string for a code; unknown codes yield "".
+func (d *Dict) Str(code int64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if code < 0 || code >= int64(len(d.strs)) {
+		return ""
+	}
+	return d.strs[code]
+}
+
+// Len returns the number of distinct strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}

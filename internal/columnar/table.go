@@ -1,0 +1,371 @@
+package columnar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"elastichtap/internal/bitset"
+)
+
+// Instance is one of a table's two columnar copies. Rows above the visible
+// watermark exist physically (inserts go to both instances) but belong to a
+// later epoch and are exposed only after the instance becomes active again.
+type Instance struct {
+	cols    []*Words
+	visible atomic.Int64 // rows exposed to readers of this instance
+	// dirty marks rows whose newest committed value lives in this instance
+	// and has not yet been propagated to the twin (the paper's
+	// update-indication bits, §3.2).
+	dirty *bitset.Atomic
+	epoch atomic.Uint64 // epoch number of the last activation
+}
+
+// Visible returns the number of rows readable in this instance.
+func (in *Instance) Visible() int64 { return in.visible.Load() }
+
+// Epoch returns the instance's last activation epoch.
+func (in *Instance) Epoch() uint64 { return in.epoch.Load() }
+
+// DirtyCount returns the number of rows updated here since the last sync.
+func (in *Instance) DirtyCount() int { return in.dirty.Count() }
+
+// Col exposes raw column storage for scans. OLAP access paths scan the
+// inactive instance only, which no writer updates below the watermark.
+func (in *Instance) Col(c int) *Words { return in.cols[c] }
+
+// ColumnStats are the per-column instance statistics the SM maintains:
+// rows at the time of switch, an updated-tuples flag, and the epoch (§3.2).
+type ColumnStats struct {
+	RowsAtSwitch int64
+	HasUpdates   bool
+	Epoch        uint64
+}
+
+// Table is a twin-instance columnar table plus the shared metadata both
+// copies use: string dictionaries, per-row commit timestamps, and the
+// dirty-versus-OLAP bitset that feeds freshness accounting.
+type Table struct {
+	schema Schema
+	dicts  []*Dict
+
+	inst   [2]*Instance
+	active atomic.Int32
+
+	rowTS *Words       // commit timestamp of each row's newest version
+	rows  atomic.Int64 // committed rows (visible in the active instance)
+
+	// dirtyOLAP marks rows updated since the OLAP replica last synchronized;
+	// it drives Nfq/Nft freshness accounting and delta-ETL.
+	dirtyOLAP *bitset.Atomic
+
+	epoch atomic.Uint64
+
+	appendMu sync.Mutex // serializes row allocation across committing txns
+	switchMu sync.Mutex // serializes instance switches
+	// applyMu lets committing transactions pin the active instance for the
+	// duration of their in-place write batch: a switch concurrent with a
+	// multi-cell commit would otherwise split the row across instances
+	// ("returns the starting address of the inactive instance when no
+	// active OLTP worker thread is using it any more", §3.2).
+	applyMu sync.RWMutex
+
+	statsMu sync.Mutex
+	stats   [2][]ColumnStats
+}
+
+// NewTable builds an empty twin-instance table.
+func NewTable(schema Schema, capHint int64) *Table {
+	if len(schema.Columns) == 0 {
+		panic(fmt.Sprintf("columnar: table %q has no columns", schema.Name))
+	}
+	t := &Table{schema: schema}
+	t.dicts = make([]*Dict, len(schema.Columns))
+	for i, c := range schema.Columns {
+		if c.Type == String {
+			t.dicts[i] = NewDict()
+		}
+	}
+	for k := 0; k < 2; k++ {
+		in := &Instance{dirty: bitset.New(int(capHint))}
+		in.cols = make([]*Words, len(schema.Columns))
+		for i := range in.cols {
+			in.cols[i] = newWords(capHint)
+		}
+		t.inst[k] = in
+		t.stats[k] = make([]ColumnStats, len(schema.Columns))
+	}
+	t.rowTS = newWords(capHint)
+	t.dirtyOLAP = bitset.New(int(capHint))
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Dict returns the dictionary of a String column (nil otherwise).
+func (t *Table) Dict(col int) *Dict { return t.dicts[col] }
+
+// Rows returns the committed row count (active-instance visibility).
+func (t *Table) Rows() int64 { return t.rows.Load() }
+
+// ActiveIndex returns which instance (0 or 1) is active.
+func (t *Table) ActiveIndex() int { return int(t.active.Load()) }
+
+// Active returns the active instance.
+func (t *Table) Active() *Instance { return t.inst[t.active.Load()] }
+
+// Inactive returns the inactive instance.
+func (t *Table) Inactive() *Instance { return t.inst[1-t.active.Load()] }
+
+// Instance returns instance k (0 or 1).
+func (t *Table) Instance(k int) *Instance { return t.inst[k] }
+
+// Epoch returns the current switch epoch.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// DirtyOLAP exposes the updated-since-OLAP-sync bitset.
+func (t *Table) DirtyOLAP() *bitset.Atomic { return t.dirtyOLAP }
+
+// AppendRows allocates n new committed rows, writing each provided row to
+// BOTH instances (§3.2: "inserts are pushed to both instances"), stamps
+// them with commit timestamp ts, and returns the first row ID. rows[i]
+// must have one raw word per column; use EncodeRow for friendly values.
+func (t *Table) AppendRows(rows [][]int64, ts uint64) int64 {
+	n := int64(len(rows))
+	if n == 0 {
+		return t.rows.Load()
+	}
+	t.appendMu.Lock()
+	base := t.rows.Load()
+	end := base + n
+	for k := 0; k < 2; k++ {
+		for _, c := range t.inst[k].cols {
+			c.ensure(end)
+		}
+	}
+	t.rowTS.ensure(end)
+	for i, row := range rows {
+		if len(row) != len(t.schema.Columns) {
+			t.appendMu.Unlock()
+			panic(fmt.Sprintf("columnar: row width %d != schema width %d for table %q",
+				len(row), len(t.schema.Columns), t.schema.Name))
+		}
+		r := base + int64(i)
+		for c, v := range row {
+			t.inst[0].cols[c].Store(r, v)
+			t.inst[1].cols[c].Store(r, v)
+		}
+		t.rowTS.Store(r, int64(ts))
+		t.dirtyOLAP.Set(int(r))
+	}
+	// Publish: new rows become visible in the active instance only.
+	t.rows.Store(end)
+	t.inst[t.active.Load()].visible.Store(end)
+	t.appendMu.Unlock()
+	return base
+}
+
+// BeginApply pins the active instance for a batch of UpdateCell calls;
+// EndApply releases it. Committing transactions bracket their per-table
+// write batch so an instance switch cannot land mid-row.
+func (t *Table) BeginApply() { t.applyMu.RLock() }
+
+// EndApply releases the pin taken by BeginApply.
+func (t *Table) EndApply() { t.applyMu.RUnlock() }
+
+// UpdateCell writes one cell of a committed row in the active instance,
+// marking the record's update-indication bits. Callers must hold the
+// record's exclusive lock (MV2PL), hold BeginApply for multi-cell batches,
+// and push the pre-image to the version store before calling.
+func (t *Table) UpdateCell(row int64, col int, v int64, ts uint64) {
+	a := t.active.Load()
+	in := t.inst[a]
+	in.cols[col].Store(row, v)
+	in.dirty.Set(int(row))
+	t.dirtyOLAP.Set(int(row))
+	t.rowTS.Store(row, int64(ts))
+	t.statsMu.Lock()
+	t.stats[a][col].HasUpdates = true
+	t.statsMu.Unlock()
+}
+
+// ReadCell reads one cell of the given instance with atomic semantics,
+// suitable for transactional point reads against the active instance.
+func (t *Table) ReadCell(inst int, row int64, col int) int64 {
+	return t.inst[inst].cols[col].Load(row)
+}
+
+// ReadActive reads one cell of the active instance.
+func (t *Table) ReadActive(row int64, col int) int64 {
+	return t.ReadCell(int(t.active.Load()), row, col)
+}
+
+// RowTS returns the commit timestamp of the row's newest version.
+func (t *Table) RowTS(row int64) uint64 { return uint64(t.rowTS.Load(row)) }
+
+// SwitchResult describes the outcome of an active-instance switch.
+type SwitchResult struct {
+	// Snapshot is the now-inactive instance holding a consistent snapshot.
+	Snapshot *Instance
+	// SnapshotIndex is its instance number.
+	SnapshotIndex int
+	// SnapshotRows is the row count of the snapshot.
+	SnapshotRows int64
+	// DirtyRows is how many records must be propagated to the new active
+	// instance by the RDE sync.
+	DirtyRows int
+	// Epoch is the new epoch number.
+	Epoch uint64
+}
+
+// Switch makes the inactive instance active and returns the old active
+// instance as the consistent snapshot (§3.2). The caller (the RDE engine)
+// must follow up with SyncTo to propagate dirty records into the new
+// active instance before transactions read stale values; see rde.Exchange.
+func (t *Table) Switch() SwitchResult {
+	t.switchMu.Lock()
+	defer t.switchMu.Unlock()
+	// Wait for in-flight commit batches: no worker may straddle the flip.
+	t.applyMu.Lock()
+	defer t.applyMu.Unlock()
+	t.appendMu.Lock()
+	oldA := t.active.Load()
+	newA := 1 - oldA
+	rows := t.rows.Load()
+	epoch := t.epoch.Add(1)
+	// The new active instance exposes everything committed so far,
+	// including inserts that were hidden while it was inactive.
+	for _, c := range t.inst[newA].cols {
+		c.ensure(rows)
+	}
+	t.inst[newA].visible.Store(rows)
+	t.inst[newA].epoch.Store(epoch)
+	t.active.Store(newA)
+	dirty := t.inst[oldA].DirtyCount()
+	t.statsMu.Lock()
+	for c := range t.stats[oldA] {
+		t.stats[oldA][c].RowsAtSwitch = rows
+		t.stats[oldA][c].Epoch = epoch
+	}
+	t.statsMu.Unlock()
+	t.appendMu.Unlock()
+	return SwitchResult{
+		Snapshot:      t.inst[oldA],
+		SnapshotIndex: int(oldA),
+		SnapshotRows:  rows,
+		DirtyRows:     dirty,
+		Epoch:         epoch,
+	}
+}
+
+// SyncTo drains the snapshot instance's dirty bits, copying each marked
+// record into the now-active instance unless it has been re-updated there
+// in the meantime ("in case they have not been updated there as well",
+// §3.4). lock must acquire the record's exclusive lock and return its
+// release function, so the copy cannot race a committing transaction.
+// It returns the number of records copied.
+func (t *Table) SyncTo(snapIdx int, lock func(row int64) func()) int {
+	snap := t.inst[snapIdx]
+	dst := t.inst[1-snapIdx]
+	copied := 0
+	snap.dirty.DrainSet(func(i int) {
+		row := int64(i)
+		unlock := lock(row)
+		if !dst.dirty.Test(i) {
+			for c := range snap.cols {
+				dst.cols[c].Store(row, snap.cols[c].Load(row))
+			}
+			copied++
+		}
+		unlock()
+	})
+	return copied
+}
+
+// Stats returns a copy of the per-column stats of instance k.
+func (t *Table) Stats(k int) []ColumnStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return append([]ColumnStats(nil), t.stats[k]...)
+}
+
+// EncodeRow converts friendly Go values into raw Words following the
+// schema: int64/int for Int64, float64 for Float64, string for String.
+func (t *Table) EncodeRow(vals ...any) []int64 {
+	if len(vals) != len(t.schema.Columns) {
+		panic(fmt.Sprintf("columnar: EncodeRow got %d values for %d columns of %q",
+			len(vals), len(t.schema.Columns), t.schema.Name))
+	}
+	row := make([]int64, len(vals))
+	for i, v := range vals {
+		row[i] = t.EncodeValue(i, v)
+	}
+	return row
+}
+
+// EncodeValue converts one friendly value for column col into a raw word.
+func (t *Table) EncodeValue(col int, v any) int64 {
+	def := t.schema.Columns[col]
+	switch def.Type {
+	case Int64:
+		switch x := v.(type) {
+		case int64:
+			return x
+		case int:
+			return int64(x)
+		case uint64:
+			return int64(x)
+		}
+	case Float64:
+		if x, ok := v.(float64); ok {
+			return EncodeFloat(x)
+		}
+	case String:
+		if x, ok := v.(string); ok {
+			return t.dicts[col].Code(x)
+		}
+	}
+	panic(fmt.Sprintf("columnar: value %T not assignable to column %s %s of %q",
+		v, def.Name, def.Type, t.schema.Name))
+}
+
+// DecodeValue converts a raw word of column col back to a friendly value.
+func (t *Table) DecodeValue(col int, w int64) any {
+	switch t.schema.Columns[col].Type {
+	case Float64:
+		return DecodeFloat(w)
+	case String:
+		return t.dicts[col].Str(w)
+	default:
+		return w
+	}
+}
+
+// FreshStats summarizes data the OLAP replica has not yet absorbed.
+type FreshStats struct {
+	// Rows is the table's committed row count.
+	Rows int64
+	// UpdatedRows counts rows with dirtyOLAP bits set at or below the
+	// OLAP watermark (rows the replica has but that changed since).
+	UpdatedRows int64
+	// InsertedRows counts rows beyond the OLAP watermark.
+	InsertedRows int64
+}
+
+// FreshSince computes freshness statistics relative to an OLAP replica
+// that has synced rows [0, olapRows) and cleared bits at its last ETL.
+func (t *Table) FreshSince(olapRows int64) FreshStats {
+	rows := t.rows.Load()
+	var updated int64
+	t.dirtyOLAP.ForEachSet(func(i int) {
+		if int64(i) < olapRows {
+			updated++
+		}
+	})
+	inserted := rows - olapRows
+	if inserted < 0 {
+		inserted = 0
+	}
+	return FreshStats{Rows: rows, UpdatedRows: updated, InsertedRows: inserted}
+}

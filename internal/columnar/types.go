@@ -1,0 +1,86 @@
+// Package columnar implements the in-memory columnar storage manager of the
+// paper's OLTP engine (§3.2): every table keeps two full columnar instances
+// ("twin instances", after Twin Blocks / Twin Tuples), only one of which is
+// active for transaction processing at any time. Updates land on the active
+// instance and set a per-record update-indication bit; inserts are appended
+// to both instances but become visible in the inactive one only after a
+// switch. The Resource and Data Exchange engine switches the active
+// instance to hand the OLAP engine a consistent snapshot without
+// interfering with transaction execution.
+package columnar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type enumerates the supported column types. All values are stored as raw
+// 8-byte words; Float64 uses IEEE bits, String uses dictionary codes.
+type Type int8
+
+const (
+	// Int64 stores signed integers (also dates as epoch days, IDs, counts).
+	Int64 Type = iota
+	// Float64 stores IEEE-754 doubles (amounts, prices).
+	Float64
+	// String stores dictionary-encoded variable-length text.
+	String
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", int8(t))
+	}
+}
+
+// WordBytes is the storage width of every column value.
+const WordBytes = 8
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a table: its name and ordered column definitions.
+type Schema struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColumn returns the position of the named column or panics. Schemas
+// are static program data, so a miss is a programming error.
+func (s Schema) MustColumn(name string) int {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("columnar: schema %q has no column %q", s.Name, name))
+	}
+	return i
+}
+
+// RowBytes returns the storage width of one row.
+func (s Schema) RowBytes() int64 { return int64(len(s.Columns)) * WordBytes }
+
+// EncodeFloat packs a float64 into the raw word representation.
+func EncodeFloat(f float64) int64 { return int64(math.Float64bits(f)) }
+
+// DecodeFloat unpacks a raw word into a float64.
+func DecodeFloat(w int64) float64 { return math.Float64frombits(uint64(w)) }

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/rde"
+	"elastichtap/internal/topology"
+)
+
+func newTestSystem(t *testing.T) (*System, *ch.DB) {
+	t.Helper()
+	cfg := DefaultSystemConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ch.Load(sys.OLTPE, ch.TinySizing(), 1)
+	sys.OLTPE.Workers().SetWorkload(ch.NewMix(db, 0, 1))
+	sys.ApplyPlacements()
+	return sys, db
+}
+
+func TestBootstrapIsS2(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	if sys.Sched.State() != S2 {
+		t.Fatalf("boot state = %v, want S2", sys.Sched.State())
+	}
+	// Each engine owns one full socket (§5.1).
+	if got := sys.Ledger.Count(0, topology.OLTP); got != 14 {
+		t.Fatalf("OLTP cores on socket 0 = %d", got)
+	}
+	if got := sys.Ledger.Count(1, topology.OLAP); got != 14 {
+		t.Fatalf("OLAP cores on socket 1 = %d", got)
+	}
+}
+
+func TestMigrationsConserveCoresAndRespectFloors(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	total := sys.Cfg.Topology.TotalCores()
+	for _, st := range []State{S1, S2, S3IS, S3NI, S1, S3NI, S2} {
+		sys.Sched.MigrateTo(st)
+		oltp := sys.Ledger.CountTotal(topology.OLTP)
+		olap := sys.Ledger.CountTotal(topology.OLAP)
+		if oltp+olap != total {
+			t.Fatalf("state %v: %d+%d != %d cores", st, oltp, olap, total)
+		}
+		floor := sys.Sched.Config().OLTPCpuThres[0]
+		switch st {
+		case S1, S3NI:
+			if got := sys.Ledger.Count(0, topology.OLTP); got < floor {
+				t.Fatalf("state %v: OLTP below floor: %d < %d", st, got, floor)
+			}
+		case S2, S3IS:
+			if got := sys.Ledger.Count(0, topology.OLTP); got != 14 {
+				t.Fatalf("state %v: OLTP should own its socket, has %d", st, got)
+			}
+		}
+	}
+}
+
+func TestMigrateS1TradesCores(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	sys.Sched.MigrateTo(S1)
+	k := sys.Sched.Config().ElasticCores
+	if got := sys.Ledger.Count(0, topology.OLAP); got != k {
+		t.Fatalf("OLAP cores on OLTP socket = %d, want %d", got, k)
+	}
+	if got := sys.Ledger.Count(1, topology.OLTP); got != k {
+		t.Fatalf("OLTP cores on OLAP socket = %d, want %d (trade)", got, k)
+	}
+}
+
+func TestMigrateS3NILendsWithoutTrading(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	sys.Sched.MigrateTo(S3NI)
+	k := sys.Sched.Config().ElasticCores
+	if got := sys.Ledger.Count(0, topology.OLAP); got != k {
+		t.Fatalf("borrowed cores = %d, want %d", got, k)
+	}
+	if got := sys.Ledger.Count(1, topology.OLTP); got != 0 {
+		t.Fatalf("OLTP must not receive OLAP-socket cores in S3-NI, has %d", got)
+	}
+	if got := sys.Ledger.Count(1, topology.OLAP); got != 14 {
+		t.Fatalf("OLAP socket cores = %d", got)
+	}
+}
+
+func TestDecideAlgorithm2(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	cfg := sys.Sched.Config()
+
+	fLow := rde.Freshness{Nfq: 10, Nft: 1000} // Nfq << α·Nft
+	fHigh := rde.Freshness{Nfq: 900, Nft: 1000}
+
+	// Hybrid elasticity → S3-NI.
+	if st := sys.Sched.Decide(fLow, false); st != S3NI {
+		t.Fatalf("hybrid low-fresh = %v, want S3-NI", st)
+	}
+	// Batch always ETLs.
+	if st := sys.Sched.Decide(fLow, true); st != S2 {
+		t.Fatalf("batch = %v, want S2", st)
+	}
+	// High freshness share → S2.
+	if st := sys.Sched.Decide(fHigh, false); st != S2 {
+		t.Fatalf("high-fresh = %v, want S2", st)
+	}
+	// Elasticity off → S3-IS.
+	cfg.Elasticity = false
+	if err := sys.Sched.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Sched.Decide(fLow, false); st != S3IS {
+		t.Fatalf("no-elasticity = %v, want S3-IS", st)
+	}
+	// Co-location mode → S1.
+	cfg.Elasticity = true
+	cfg.Mode = ModeColocation
+	if err := sys.Sched.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Sched.Decide(fLow, false); st != S1 {
+		t.Fatalf("co-location mode = %v, want S1", st)
+	}
+	// α = 0 always prefers S2 when any fresh data exists.
+	cfg.Alpha = 0
+	if err := sys.Sched.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Sched.Decide(fLow, false); st != S2 {
+		t.Fatalf("α=0 = %v, want S2", st)
+	}
+}
+
+func TestPrimeReplicasSetsFreshnessRateOne(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	res := sys.PrimeReplicas()
+	if res.Bytes == 0 || res.InsertedRows == 0 {
+		t.Fatalf("prime copied nothing: %+v", res)
+	}
+	f := sys.X.MeasureFreshness(sys.OLTPE.Tables(), ch.TOrderLine, 3)
+	if f.Rate < 0.999 || f.Nft != 0 {
+		t.Fatalf("after prime: rate=%v Nft=%d, want 1 and 0", f.Rate, f.Nft)
+	}
+}
+
+func TestRunQueryAdaptive(t *testing.T) {
+	sys, db := newTestSystem(t)
+	sys.PrimeReplicas()
+	q := &ch.Q6{DB: db}
+
+	// The tiny test database saturates its update working set instantly,
+	// which drives Nfq/Nft high; raise α so the small delta still reads as
+	// "not worth an ETL" and Algorithm 2 picks the hybrid state.
+	cfgHi := sys.Sched.Config()
+	cfgHi.Alpha = 0.95
+	if err := sys.Sched.SetConfig(cfgHi); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small delta: hybrid state (S3-NI under the config), split access,
+	// no ETL.
+	sys.InjectTransactions(20)
+	rep2, _, err := sys.RunQuery(q, QueryOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.State != S3NI {
+		t.Fatalf("query state = %v, want S3-NI", rep2.State)
+	}
+	if rep2.ETLSeconds != 0 {
+		t.Fatal("hybrid state must not ETL")
+	}
+	if rep2.Method != rde.ReadSplit {
+		t.Fatalf("method = %v, want split", rep2.Method)
+	}
+	if rep2.ExecSeconds <= 0 || rep2.ResponseSeconds < rep2.ExecSeconds {
+		t.Fatalf("timing wrong: %+v", rep2)
+	}
+	if rep2.Nfq <= 0 || rep2.Nft < rep2.Nfq {
+		t.Fatalf("freshness accounting: Nfq=%d Nft=%d", rep2.Nfq, rep2.Nft)
+	}
+
+	// With α forced to 0 any fresh data triggers the ETL path (S2).
+	cfg := sys.Sched.Config()
+	cfg.Alpha = 0
+	if err := sys.Sched.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sys.InjectTransactions(10)
+	rep3, _, err := sys.RunQuery(q, QueryOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.State != S2 {
+		t.Fatalf("α=0 state = %v, want S2", rep3.State)
+	}
+	if rep3.ETLBytes == 0 || rep3.ETLSeconds <= 0 {
+		t.Fatalf("S2 must pay an ETL: %+v", rep3)
+	}
+	// Results only grow with inserts.
+	if rep3.Result.Rows[0][1] < rep2.Result.Rows[0][1] {
+		t.Fatal("count shrank after inserts")
+	}
+}
+
+func TestRunQueryForcedStates(t *testing.T) {
+	sys, db := newTestSystem(t)
+	sys.InjectTransactions(10)
+	q := &ch.Q1{DB: db}
+
+	var counts []float64
+	for _, st := range []State{S1, S2, S3IS, S3NI} {
+		rep, _, err := sys.RunQuery(q, QueryOptions{ForceState: ForcedState(st)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.State != st {
+			t.Fatalf("forced %v, got %v", st, rep.State)
+		}
+		var total float64
+		for _, row := range rep.Result.Rows {
+			total += row[5]
+		}
+		counts = append(counts, total)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("states disagree on result: %v", counts)
+		}
+	}
+}
+
+func TestRunQueryForcedMethodFullRemote(t *testing.T) {
+	sys, db := newTestSystem(t)
+	sys.InjectTransactions(5)
+	q := &ch.Q6{DB: db}
+	rep, _, err := sys.RunQuery(q, QueryOptions{
+		ForceState:  ForcedState(S3IS),
+		ForceMethod: ForcedMethod(rde.ReadSnapshot),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != rde.ReadSnapshot {
+		t.Fatalf("method = %v", rep.Method)
+	}
+	// Full remote: all payload bytes on the OLTP socket.
+	if rep.Stats.BytesAt[0] == 0 || rep.Stats.BytesAt[1] != 0 {
+		t.Fatalf("bytes = %v, want all on socket 0", rep.Stats.BytesAt)
+	}
+	if rep.CrossBytes == 0 {
+		t.Fatal("remote read must cross the interconnect")
+	}
+}
+
+func TestOLTPInterferenceReported(t *testing.T) {
+	sys, db := newTestSystem(t)
+	rep, _, err := sys.RunQuery(&ch.Q6{DB: db}, QueryOptions{ForceState: ForcedState(S1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OLTPDuringTPS >= rep.OLTPBaselineTPS {
+		t.Fatalf("query must depress OLTP throughput: %v >= %v",
+			rep.OLTPDuringTPS, rep.OLTPBaselineTPS)
+	}
+	if rep.OLTPBaselineTPS <= 0 {
+		t.Fatal("baseline TPS must be positive")
+	}
+}
+
+func TestBatchSkipSwitchReusesSnapshot(t *testing.T) {
+	sys, db := newTestSystem(t)
+	q := &ch.Q6{DB: db}
+	rep1, set, err := sys.RunQuery(q, QueryOptions{Batch: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.InjectTransactions(10)
+	rep2, _, err := sys.RunQuery(q, QueryOptions{Batch: true, SkipSwitch: true}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot: same result despite new inserts.
+	if rep1.Result.Rows[0][1] != rep2.Result.Rows[0][1] {
+		t.Fatalf("batch snapshot drifted: %v vs %v",
+			rep1.Result.Rows[0][1], rep2.Result.Rows[0][1])
+	}
+	if rep2.SyncSeconds != 0 {
+		t.Fatal("skipped switch must not charge sync time")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(2, 14)
+	cfg.Alpha = 1.5
+	if cfg.Validate() == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	cfg = DefaultConfig(2, 14)
+	cfg.ElasticCores = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative elastic cores accepted")
+	}
+}

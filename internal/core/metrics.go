@@ -1,0 +1,41 @@
+package core
+
+import (
+	"elastichtap/internal/metrics"
+	"elastichtap/internal/topology"
+)
+
+// Metrics collects a consistent observability snapshot from every engine.
+func (s *System) Metrics() metrics.Snapshot {
+	snap := metrics.Snapshot{
+		Commits:     s.OLTPE.Manager().Commits(),
+		Aborts:      s.OLTPE.Manager().Aborts(),
+		WorkerCount: s.OLTPE.Workers().Placement().Total(),
+		Retried:     s.OLTPE.Workers().Retried(),
+		Failed:      s.OLTPE.Workers().Failed(),
+		State:       s.Sched.State().String(),
+		OLTPCores:   s.Ledger.CountTotal(topology.OLTP),
+		OLAPCores:   s.Ledger.CountTotal(topology.OLAP),
+	}
+	tables := s.OLTPE.Tables()
+	snap.Tables = len(tables)
+	for _, h := range tables {
+		t := h.Table()
+		snap.TotalRows += t.Rows()
+		snap.DirtyRows += int64(t.Active().DirtyCount() + t.Inactive().DirtyCount())
+		rep := s.X.Replica(h)
+		fresh := t.FreshSince(rep.Rows())
+		snap.FreshRows += fresh.UpdatedRows + fresh.InsertedRows
+		snap.VersionRows += h.Ref.Versions.Len()
+	}
+	switches, synced, etl := s.X.Counters()
+	snap.Switches = switches
+	snap.SyncedRows = synced
+	snap.ETLBytes = etl
+	if snap.TotalRows > 0 {
+		snap.FreshnessRate = float64(snap.TotalRows-snap.FreshRows) / float64(snap.TotalRows)
+	} else {
+		snap.FreshnessRate = 1
+	}
+	return snap
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"elastichtap/internal/topology"
+)
+
+// Algorithm 1 — State Migration. Each function redistributes cores on the
+// ledger; enforcement (resizing the engine worker pools) happens in the
+// runner after migration. The administrator thresholds OLTPSockThres and
+// OLTPCpuThres bound how much compute can be revoked from the OLTP engine.
+
+// migrateS1 trades `elastic` cores between the sockets: the OLTP engine
+// cedes that many data-local cores to OLAP and receives the same number on
+// the OLAP socket, never dropping below the per-socket CPU floor.
+func (s *Scheduler) migrateS1(elastic int) {
+	cfg := s.ledger.Config()
+	oltpS, olapS := s.oltpSocket, s.olapSocket
+	x := elastic
+	if floor := s.cfg.cpuFloor(oltpS, cfg.CoresPerSocket); cfg.CoresPerSocket-x < floor {
+		x = cfg.CoresPerSocket - floor
+	}
+	if x < 0 {
+		x = 0
+	}
+	s.assignSplit(oltpS, cfg.CoresPerSocket-x, topology.OLTP, topology.OLAP)
+	s.assignSplit(olapS, x, topology.OLTP, topology.OLAP)
+	s.fillOtherSockets()
+}
+
+// migrateS2 gives each engine whole sockets per the administrator policy:
+// the OLTP engine keeps OLTPSockThres sockets (at least its home socket),
+// the OLAP engine receives the rest.
+func (s *Scheduler) migrateS2() {
+	sockets := s.ledger.Config().Sockets
+	granted := 0
+	for d := 0; d < sockets; d++ {
+		// Grant OLTP its home socket first, then ascending others.
+		sock := (s.oltpSocket + d) % sockets
+		if granted < s.cfg.OLTPSockThres {
+			s.mustAssignSocket(sock, topology.OLTP)
+			granted++
+		} else {
+			s.mustAssignSocket(sock, topology.OLAP)
+		}
+	}
+}
+
+// migrateS3 covers both hybrid variants: ISOLATED keeps the S2 core
+// layout (socket-level isolation, remote/split reads); NON-ISOLATED lends
+// `elastic` OLTP cores to the OLAP engine on the OLTP socket.
+func (s *Scheduler) migrateS3(isolated bool, elastic int) {
+	if isolated {
+		s.migrateS2()
+		return
+	}
+	cfg := s.ledger.Config()
+	k := elastic
+	if floor := s.cfg.cpuFloor(s.oltpSocket, cfg.CoresPerSocket); cfg.CoresPerSocket-k < floor {
+		k = cfg.CoresPerSocket - floor
+	}
+	if k < 0 {
+		k = 0
+	}
+	s.assignSplit(s.oltpSocket, cfg.CoresPerSocket-k, topology.OLTP, topology.OLAP)
+	s.mustAssignSocket(s.olapSocket, topology.OLAP)
+	s.fillOtherSockets()
+}
+
+// assignSplit gives the first n cores of the socket to `first` and the
+// rest to `second`.
+func (s *Scheduler) assignSplit(socket, n int, first, second topology.Engine) {
+	cfg := s.ledger.Config()
+	for i := 0; i < cfg.CoresPerSocket; i++ {
+		owner := second
+		if i < n {
+			owner = first
+		}
+		if err := s.ledger.Assign(topology.CoreID{Socket: socket, Index: i}, owner); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (s *Scheduler) mustAssignSocket(socket int, e topology.Engine) {
+	if err := s.ledger.AssignSocket(socket, e); err != nil {
+		panic(err)
+	}
+}
+
+// fillOtherSockets assigns sockets beyond the engine pair (4-socket
+// machines) to the OLAP engine, matching Figure 1's setup where the two
+// engines occupy two sockets and the rest idle under OLAP ownership.
+func (s *Scheduler) fillOtherSockets() {
+	for sock := 0; sock < s.ledger.Config().Sockets; sock++ {
+		if sock != s.oltpSocket && sock != s.olapSocket {
+			s.mustAssignSocket(sock, topology.Free)
+		}
+	}
+}
+
+// cpuFloor returns the per-socket OLTP core floor.
+func (c Config) cpuFloor(socket, coresPerSocket int) int {
+	if socket < len(c.OLTPCpuThres) {
+		f := c.OLTPCpuThres[socket]
+		if f > coresPerSocket {
+			return coresPerSocket
+		}
+		return f
+	}
+	return 0
+}

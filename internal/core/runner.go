@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/rde"
+	"elastichtap/internal/topology"
+)
+
+// SystemConfig assembles a complete HTAP system.
+type SystemConfig struct {
+	// Topology describes the machine; defaults to the paper's 2x14 server.
+	Topology topology.Config
+	// Params calibrate the cost model; defaults to DefaultParams.
+	Params costmodel.Params
+	// Scheduler parameterizes Algorithms 1 and 2.
+	Scheduler Config
+	// OLTPSocket / OLAPSocket are the engines' home sockets.
+	OLTPSocket, OLAPSocket int
+	// ByteScale multiplies measured byte counts before they reach the cost
+	// model, letting a laptop-sized database emulate the paper's SF-300
+	// timings: shapes depend on ratios, which ByteScale preserves
+	// (DESIGN.md §2). 0 means 1.
+	ByteScale float64
+}
+
+// DefaultSystemConfig returns the paper's evaluation setup.
+func DefaultSystemConfig() SystemConfig {
+	topo := topology.DefaultConfig()
+	return SystemConfig{
+		Topology:   topo,
+		Params:     costmodel.DefaultParams(),
+		Scheduler:  DefaultConfig(topo.Sockets, topo.CoresPerSocket),
+		OLTPSocket: 0,
+		OLAPSocket: 1,
+		ByteScale:  1,
+	}
+}
+
+// System is the assembled HTAP system: OLTP engine, OLAP engine, RDE
+// exchange and the adaptive scheduler, over a modeled NUMA machine.
+type System struct {
+	Cfg    SystemConfig
+	Ledger *topology.Ledger
+	Model  *costmodel.Model
+	OLTPE  *oltp.Engine
+	OLAPE  *olap.Engine
+	X      *rde.Exchange
+	Sched  *Scheduler
+}
+
+// NewSystem bootstraps a system in state S2: each engine owns its socket,
+// worker pools sized accordingly (§5.1).
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.ByteScale <= 0 {
+		cfg.ByteScale = 1
+	}
+	ledger, err := topology.NewLedger(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(cfg.Topology, cfg.Params)
+	oltpE := oltp.NewEngine()
+	olapE := olap.NewEngine(cfg.Topology.Sockets)
+	sched, err := NewScheduler(cfg.Scheduler, ledger, cfg.OLTPSocket, cfg.OLAPSocket)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Cfg:    cfg,
+		Ledger: ledger,
+		Model:  model,
+		OLTPE:  oltpE,
+		OLAPE:  olapE,
+		X:      rde.New(ledger, model, oltpE, olapE, cfg.OLTPSocket, cfg.OLAPSocket),
+		Sched:  sched,
+	}
+	s.ApplyPlacements()
+	return s, nil
+}
+
+// ApplyPlacements pushes the ledger's current core distribution into both
+// engines' worker managers (the enforcement half of Algorithm 1).
+func (s *System) ApplyPlacements() {
+	s.OLTPE.Workers().SetPlacement(s.Sched.OLTPPlacement())
+	s.OLAPE.SetPlacement(s.Sched.OLAPPlacement())
+}
+
+// scale applies the byte-scale emulation factor.
+func (s *System) scale(b int64) int64 { return int64(float64(b) * s.Cfg.ByteScale) }
+
+func (s *System) scaleAll(bs []int64) []int64 {
+	out := make([]int64, len(bs))
+	for i, b := range bs {
+		out[i] = s.scale(b)
+	}
+	return out
+}
+
+// PrimeReplicas performs the initial synchronization of the OLAP replicas
+// with the freshly loaded database, setting the freshness-rate to 1 before
+// workload execution begins (§5.3: "we initialize the database ... before
+// we synchronize the storage of both engines"). Call it once after loading
+// and before running queries.
+func (s *System) PrimeReplicas() rde.ETLResult {
+	set := s.X.SwitchAndSync(s.OLTPE.Tables())
+	return s.X.ETL(set)
+}
+
+// QueryOptions control one query's scheduling.
+type QueryOptions struct {
+	// ForceState pins the system state (static schedules in the figures);
+	// nil lets Algorithm 2 decide.
+	ForceState *State
+	// ForceMethod pins the access method (Figure 4's full-remote series);
+	// nil derives it from the state.
+	ForceMethod *rde.AccessMethod
+	// Batch marks the query as part of a batch (Algorithm 2's QueryBatch).
+	Batch bool
+	// SkipSwitch reuses the previous snapshot instead of switching the
+	// active instance (subsequent queries of a batch).
+	SkipSwitch bool
+}
+
+// ForcedState is a convenience for building QueryOptions.
+func ForcedState(st State) *State { return &st }
+
+// ForcedMethod is a convenience for building QueryOptions.
+func ForcedMethod(m rde.AccessMethod) *rde.AccessMethod { return &m }
+
+// QueryReport is the outcome of scheduling and executing one query.
+type QueryReport struct {
+	Query  string
+	State  State
+	Method rde.AccessMethod
+
+	// Simulated durations (seconds) from the cost model.
+	ExecSeconds     float64 // pipeline execution
+	ETLSeconds      float64 // delta copy before execution (S2 only)
+	SyncSeconds     float64 // twin-instance sync at the switch
+	ResponseSeconds float64 // what the client observes
+
+	// OLTPBaselineTPS is the modeled throughput of the OLTP engine with no
+	// concurrent query; OLTPDuringTPS is under this query's interference.
+	OLTPBaselineTPS float64
+	OLTPDuringTPS   float64
+
+	// Freshness at scheduling time.
+	Nfq, Nft  int64
+	FreshRate float64
+
+	// Execution facts.
+	Result     olap.Result
+	Stats      olap.Stats
+	CrossBytes int64
+	ETLBytes   int64
+
+	// ScanUsage is the query's modeled bandwidth footprint; experiment
+	// drivers reuse it to evaluate OLTP variants (e.g. CoW overhead).
+	ScanUsage costmodel.Usage
+}
+
+// RunQuery drives the full per-query protocol of §3.4: switch and sync the
+// OLTP instances, measure freshness, decide and migrate state (Algorithms
+// 1+2), optionally ETL, build the access path, execute for real, and
+// charge simulated time for every phase.
+func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
+	tables := s.OLTPE.Tables()
+
+	set := snap
+	var syncSeconds float64
+	if set == nil || !opt.SkipSwitch {
+		set = s.X.SwitchAndSync(tables)
+		syncSeconds = set.SyncSeconds * s.Cfg.ByteScale
+	}
+	factSnap := set.Snap(q.FactTable())
+	if factSnap == nil {
+		return QueryReport{}, set, fmt.Errorf("core: no snapshot for fact table %q", q.FactTable())
+	}
+
+	fresh := s.X.MeasureFreshness(tables, q.FactTable(), len(q.Columns()))
+
+	st := s.Sched.Decide(fresh, opt.Batch)
+	if opt.ForceState != nil {
+		st = *opt.ForceState
+	}
+	s.Sched.MigrateTo(st)
+	s.ApplyPlacements()
+
+	var etlSeconds float64
+	var etlBytes int64
+	if st == S2 {
+		etl := s.X.ETL(set)
+		etlBytes = etl.Bytes
+		olapCores := s.Ledger.Count(s.Cfg.OLAPSocket, topology.OLAP)
+		etlSeconds = s.Model.ETLTime(s.scale(etl.Bytes), olapCores)
+	}
+
+	method := s.chooseMethod(st, fresh)
+	if opt.ForceMethod != nil {
+		method = *opt.ForceMethod
+	}
+	src := s.X.SourceFor(method, factSnap)
+
+	res, stats, err := s.OLAPE.Execute(q, src)
+	if err != nil {
+		return QueryReport{}, set, err
+	}
+
+	oltpPlace := s.Sched.OLTPPlacement()
+	base := s.Model.OLTPThroughput(costmodel.OLTPLoad{
+		Workers: oltpPlace, HomeSocket: s.Cfg.OLTPSocket,
+	})
+	// Broadcast build sides come from dimension tables, whose size is fixed
+	// by the benchmark (items is 100k at every scale factor), so they are
+	// not subject to the byte-scale emulation.
+	scan := s.Model.OLAPScan(costmodel.ScanRequest{
+		Class:          q.Class(),
+		BytesAt:        s.scaleAll(stats.BytesAt),
+		Workers:        s.Sched.OLAPPlacement(),
+		Background:     base.Usage,
+		BroadcastBytes: stats.BuildBytes,
+	})
+	during := s.Model.OLTPThroughput(costmodel.OLTPLoad{
+		Workers: oltpPlace, HomeSocket: s.Cfg.OLTPSocket, Background: scan.Usage,
+	})
+
+	rep := QueryReport{
+		Query:           q.Name(),
+		State:           st,
+		Method:          method,
+		ExecSeconds:     scan.Seconds,
+		ETLSeconds:      etlSeconds,
+		SyncSeconds:     syncSeconds,
+		OLTPBaselineTPS: base.TPS,
+		OLTPDuringTPS:   during.TPS,
+		Nfq:             fresh.Nfq,
+		Nft:             fresh.Nft,
+		FreshRate:       fresh.Rate,
+		Result:          res,
+		Stats:           stats,
+		CrossBytes:      scan.CrossBytes,
+		ETLBytes:        etlBytes,
+		ScanUsage:       scan.Usage,
+	}
+	rep.ResponseSeconds = rep.ExecSeconds + rep.ETLSeconds
+	if s.Sched.Config().ChargeSyncToQuery {
+		rep.ResponseSeconds += syncSeconds
+	}
+	return rep, set, nil
+}
+
+// chooseMethod derives the access path from the state (§3.4): S2 reads the
+// freshly loaded replica; S1 reads the snapshot in place; hybrid states
+// use split access when the optimization is enabled, the fact table has no
+// pending updated rows (split is only sound for insert-only access, §5.2),
+// and the replica holds a useful prefix — otherwise full-remote.
+func (s *System) chooseMethod(st State, fresh rde.Freshness) rde.AccessMethod {
+	switch st {
+	case S2:
+		return rde.ReadReplica
+	case S1:
+		return rde.ReadSnapshot
+	default:
+		if s.Sched.Config().SplitAccess && fresh.QueryUpdatedRows == 0 {
+			return rde.ReadSplit
+		}
+		return rde.ReadSnapshot
+	}
+}
+
+// OLTPThroughputNow reports the modeled transactional throughput with the
+// current placement and no analytical interference.
+func (s *System) OLTPThroughputNow() float64 {
+	res := s.Model.OLTPThroughput(costmodel.OLTPLoad{
+		Workers:    s.Sched.OLTPPlacement(),
+		HomeSocket: s.Cfg.OLTPSocket,
+	})
+	return res.TPS
+}
+
+// InjectTransactions synchronously executes n transactions from the
+// installed workload across the OLTP worker pool. Experiment drivers call
+// it to advance the transactional state by a deterministic amount that
+// corresponds to a simulated interval.
+func (s *System) InjectTransactions(n int) {
+	s.OLTPE.Workers().ExecuteBatch(n)
+}

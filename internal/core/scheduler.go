@@ -1,0 +1,98 @@
+package core
+
+import (
+	"elastichtap/internal/rde"
+	"elastichtap/internal/topology"
+)
+
+// Scheduler owns the state machine: it decides the target state per query
+// (Algorithm 2) and enforces it on the core ledger (Algorithm 1).
+type Scheduler struct {
+	cfg    Config
+	ledger *topology.Ledger
+
+	oltpSocket, olapSocket int
+	state                  State
+}
+
+// NewScheduler builds a scheduler over the ledger. The system boots in S2,
+// full isolation, each engine owning one socket (§5.1).
+func NewScheduler(cfg Config, ledger *topology.Ledger, oltpSocket, olapSocket int) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		ledger:     ledger,
+		oltpSocket: oltpSocket,
+		olapSocket: olapSocket,
+		state:      S2,
+	}
+	s.migrateS2()
+	return s, nil
+}
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// SetConfig replaces the configuration (experiments sweep α and the
+// elastic-core budget at runtime).
+func (s *Scheduler) SetConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// State returns the current system state.
+func (s *Scheduler) State() State { return s.state }
+
+// Decide implements Algorithm 2 — freshness-driven resource scheduling.
+// Given the measured freshness and whether the query belongs to a batch,
+// it returns the state the system should migrate to:
+//
+//	if Nfq < α·Nft and not a batch:
+//	    if elasticity unavailable:        S3-ISOLATED
+//	    else if mode is HYBRID:           S3-NON-ISOLATED
+//	    else:                             S1
+//	else:                                 S2 (ETL)
+func (s *Scheduler) Decide(f rde.Freshness, queryBatch bool) State {
+	if float64(f.Nfq) < s.cfg.Alpha*float64(f.Nft) && !queryBatch {
+		if !s.cfg.Elasticity {
+			return S3IS
+		}
+		if s.cfg.Mode == ModeHybrid {
+			return S3NI
+		}
+		return S1
+	}
+	return S2
+}
+
+// MigrateTo enforces the target state on the ledger (Algorithm 1) and
+// records it. Migrating to the current state re-applies the layout, which
+// is idempotent.
+func (s *Scheduler) MigrateTo(st State) {
+	switch st {
+	case S1:
+		s.migrateS1(s.cfg.ElasticCores)
+	case S2:
+		s.migrateS2()
+	case S3IS:
+		s.migrateS3(true, 0)
+	case S3NI:
+		s.migrateS3(false, s.cfg.ElasticCores)
+	}
+	s.state = st
+}
+
+// OLTPPlacement returns the OLTP engine's core allocation.
+func (s *Scheduler) OLTPPlacement() topology.Placement {
+	return s.ledger.PlacementOf(topology.OLTP)
+}
+
+// OLAPPlacement returns the OLAP engine's core allocation.
+func (s *Scheduler) OLAPPlacement() topology.Placement {
+	return s.ledger.PlacementOf(topology.OLAP)
+}

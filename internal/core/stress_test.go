@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"elastichtap/internal/ch"
+)
+
+// TestStressContendedWorkers hammers the full stack — 14 free-running
+// workers against adaptive queries — and requires zero abandoned
+// transactions: wait-die with sticky priorities plus retry backoff must
+// always make progress.
+func TestStressContendedWorkers(t *testing.T) {
+	sys, db := newTestSystem(t)
+	sys.PrimeReplicas()
+	mix := ch.NewMix(db, 0, 1)
+	mgr := sys.OLTPE.Manager()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	for w := 0; w < 14; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := mgr.RunWithRetry(1<<20, mix.Next(w)); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := sys.RunQuery(&ch.Q6{DB: db}, QueryOptions{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i, e := range errs {
+		if i > 4 {
+			break
+		}
+		t.Logf("err: %v", e)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("%d errors", len(errs))
+	}
+}

@@ -1,0 +1,53 @@
+package costmodel
+
+import "math"
+
+// TailLatency estimates per-transaction latency percentiles under the
+// given load. The paper treats tail latency qualitatively (§5.2): "As OLAP
+// stresses the memory bus, the OLTP engine is expected to experience
+// higher tail latencies. In S3-IS and S2, this effect is expected to be
+// smaller ... it becomes higher as the system migrates to S3-NI, and to S1
+// which is the worst case."
+//
+// The model composes the mean service time with an M/M/1-style queueing
+// inflation on the contended resources: the home memory bus (utilization
+// from the concurrent scan) and the interconnect (for remote workers).
+// P50 tracks the mean; P99 inflates with utilization hyperbolically.
+type TailLatency struct {
+	MeanSeconds float64
+	P50Seconds  float64
+	P99Seconds  float64
+}
+
+// OLTPTailLatency evaluates latency percentiles for the load.
+func (m *Model) OLTPTailLatency(load OLTPLoad) TailLatency {
+	res := m.OLTPThroughput(load)
+	if res.TPS <= 0 {
+		return TailLatency{}
+	}
+	// Mean service time across the pool.
+	mean := float64(load.Workers.Total()) / res.TPS
+
+	// Contention factor: the busier the home bus and interconnect, the
+	// heavier the tail. Clamp utilization below 1 to keep the hyperbola
+	// finite; the scheduler never plans for a saturated bus anyway.
+	u := load.Background.On(load.HomeSocket)
+	remote := 0
+	for s, c := range load.Workers.PerSocket {
+		if s != load.HomeSocket {
+			remote += c
+		}
+	}
+	if remote > 0 {
+		u = math.Max(u, load.Background.Interconnect)
+	}
+	if u > 0.95 {
+		u = 0.95
+	}
+	queue := u / (1 - u)
+	return TailLatency{
+		MeanSeconds: mean,
+		P50Seconds:  mean * (1 + 0.3*queue),
+		P99Seconds:  mean * (1 + 3.0*queue),
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"elastichtap/internal/core"
+	"elastichtap/internal/rde"
+)
+
+// Fig4Row is one point of Figure 4: average Q1 response time as a function
+// of the share of the database's fresh data the query touches.
+type Fig4Row struct {
+	// FreshPct is 100*Nfq/Nft at scheduling time.
+	FreshPct float64
+	// SplitSeconds is S3-IS with the split access method.
+	SplitSeconds float64
+	// S2Seconds is the replica-local execution after a real delta ETL,
+	// with the copy amortized over a 16-query batch (the series' steady
+	// state, §5.2: the S2 line "stabilizes").
+	S2Seconds float64
+	// FullRemoteSeconds is S3-IS reading everything over the interconnect.
+	FullRemoteSeconds float64
+}
+
+// Figure4 reproduces the freshness sweep (§5.2): starting from a fully
+// synchronized replica, transactions accumulate fresh data; at each point
+// the three access strategies execute Q1 and report response time. Two
+// environments advance in lockstep over identical transaction streams: the
+// hybrid one never ETLs (so fresh data keeps accumulating), while the S2
+// one pays a real delta ETL per point. The split-access series starts
+// below S2 and crosses it as the fresh share grows; full-remote stays
+// worst throughout.
+func Figure4(opt Options) ([]Fig4Row, error) {
+	hybrid, err := NewEnv(opt)
+	if err != nil {
+		return nil, err
+	}
+	s2env, err := NewEnv(opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+	const points = 12
+	const stepSimSecs = 12.0
+	for p := 0; p < points; p++ {
+		// Grow fresh data identically in both environments.
+		n := hybrid.InjectFor(stepSimSecs, hybrid.Sys.OLTPThroughputNow())
+		s2env.Sys.InjectTransactions(n)
+
+		split, _, err := hybrid.Sys.RunQuery(hybrid.Q1(), core.QueryOptions{
+			ForceState:  core.ForcedState(core.S3IS),
+			ForceMethod: core.ForcedMethod(rde.ReadSplit),
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		full, _, err := hybrid.Sys.RunQuery(hybrid.Q1(), core.QueryOptions{
+			ForceState:  core.ForcedState(core.S3IS),
+			ForceMethod: core.ForcedMethod(rde.ReadSnapshot),
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		s2, _, err := s2env.Sys.RunQuery(s2env.Q1(), core.QueryOptions{
+			ForceState: core.ForcedState(core.S2),
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		// The x-axis is the touched fresh bytes (query columns only) over
+		// all fresh bytes, the quantity Figure 4 plots.
+		freshPct := 0.0
+		if full.Nft > 0 {
+			cols := int64(len(hybrid.Q1().Columns()))
+			touched := full.Nfq / hybrid.DB.OrderLine.Table().Schema().RowBytes() * cols * 8
+			freshPct = 100 * float64(touched) / float64(full.Nft)
+		}
+		rows = append(rows, Fig4Row{
+			FreshPct:          freshPct,
+			SplitSeconds:      split.ResponseSeconds,
+			S2Seconds:         s2.ExecSeconds + s2.ETLSeconds/16,
+			FullRemoteSeconds: full.ResponseSeconds,
+		})
+	}
+	return rows, nil
+}

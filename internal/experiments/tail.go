@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"elastichtap/internal/core"
+	"elastichtap/internal/costmodel"
+)
+
+// TailRow reports OLTP latency percentiles in one system state while a Q6
+// scan runs concurrently — the paper's qualitative tail-latency ordering
+// (§5.2): S2 and S3-IS smallest, S3-NI higher, S1 worst.
+type TailRow struct {
+	State       string
+	MeanMicros  float64
+	P50Micros   float64
+	P99Micros   float64
+	OLTPMTPS    float64
+	BusUtilPct  float64 // home-socket bus utilization during the scan
+	CrossTraffc float64 // interconnect utilization
+}
+
+// TailLatency evaluates all four states on identical fresh state.
+func TailLatency(opt Options) ([]TailRow, error) {
+	var rows []TailRow
+	for _, st := range []core.State{core.S2, core.S3IS, core.S3NI, core.S1} {
+		env, err := NewEnv(opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.allowTrading(14); err != nil {
+			return nil, err
+		}
+		env.InjectFor(10, env.Sys.OLTPThroughputNow())
+		rep, _, err := env.Sys.RunQuery(env.Q6(), core.QueryOptions{
+			ForceState: core.ForcedState(st),
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		tail := env.Sys.Model.OLTPTailLatency(costmodel.OLTPLoad{
+			Workers:    env.Sys.Sched.OLTPPlacement(),
+			HomeSocket: env.Sys.Cfg.OLTPSocket,
+			Background: rep.ScanUsage,
+		})
+		rows = append(rows, TailRow{
+			State:       st.String(),
+			MeanMicros:  tail.MeanSeconds * 1e6,
+			P50Micros:   tail.P50Seconds * 1e6,
+			P99Micros:   tail.P99Seconds * 1e6,
+			OLTPMTPS:    rep.OLTPDuringTPS / 1e6,
+			BusUtilPct:  100 * rep.ScanUsage.On(env.Sys.Cfg.OLTPSocket),
+			CrossTraffc: 100 * rep.ScanUsage.Interconnect,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+// Package metrics aggregates observability counters from every engine into
+// one snapshot, the basis for the operator-facing status report and for
+// assertions in integration tests.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Snapshot is a point-in-time view of the whole system.
+type Snapshot struct {
+	// Transactional engine.
+	Commits     uint64
+	Aborts      uint64
+	WorkerCount int
+	Retried     uint64
+	Failed      uint64
+
+	// Storage.
+	Tables      int
+	TotalRows   int64
+	DirtyRows   int64 // update-indication bits pending instance sync
+	FreshRows   int64 // rows the OLAP replicas lack
+	VersionRows int   // live MVCC versions
+
+	// Resource and data exchange.
+	Switches   int64
+	SyncedRows int64
+	ETLBytes   int64
+
+	// Scheduler.
+	State         string
+	OLTPCores     int
+	OLAPCores     int
+	FreshnessRate float64
+}
+
+// WriteTo renders the snapshot as an aligned table.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	rows := []struct {
+		k string
+		v any
+	}{
+		{"state", s.State},
+		{"oltp cores", s.OLTPCores},
+		{"olap cores", s.OLAPCores},
+		{"commits", s.Commits},
+		{"aborts", s.Aborts},
+		{"txn retries", s.Retried},
+		{"txn failures", s.Failed},
+		{"tables", s.Tables},
+		{"total rows", s.TotalRows},
+		{"dirty rows (twin sync pending)", s.DirtyRows},
+		{"fresh rows (replica lag)", s.FreshRows},
+		{"mvcc versions", s.VersionRows},
+		{"instance switches", s.Switches},
+		{"synced rows", s.SyncedRows},
+		{"etl bytes", s.ETLBytes},
+		{"freshness rate", fmt.Sprintf("%.4f", s.FreshnessRate)},
+	}
+	var n int64
+	for _, r := range rows {
+		m, err := fmt.Fprintf(tw, "%s\t%v\n", r.k, r.v)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, tw.Flush()
+}
+
+// String renders the snapshot (fmt.Stringer).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_, _ = s.WriteTo(&b)
+	return b.String()
+}

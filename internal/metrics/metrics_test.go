@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteToAndString(t *testing.T) {
+	s := Snapshot{
+		Commits:       42,
+		Aborts:        3,
+		State:         "S3-NI",
+		OLTPCores:     10,
+		OLAPCores:     18,
+		Tables:        12,
+		TotalRows:     1000,
+		FreshRows:     50,
+		FreshnessRate: 0.95,
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"S3-NI", "42", "0.9500", "commits", "freshness rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if s.String() != out {
+		t.Fatal("String and WriteTo disagree")
+	}
+}
+
+func TestZeroValueRenders(t *testing.T) {
+	var s Snapshot
+	if !strings.Contains(s.String(), "state") {
+		t.Fatal("zero snapshot did not render")
+	}
+}

@@ -1,0 +1,167 @@
+package olap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/topology"
+)
+
+// Block is one morsel of aligned column vectors handed to an executor.
+// Cols[k] corresponds to the k-th requested column; all slices share
+// length N and start at absolute row Base.
+type Block struct {
+	Base int64
+	N    int
+	Cols [][]int64
+}
+
+// Local is per-worker executor state; Consume is called from exactly one
+// goroutine per Local, so implementations need no locking.
+type Local interface {
+	Consume(b Block)
+}
+
+// Exec is a prepared query: it creates per-worker state and merges it into
+// a final result. Implementations live with the workload definitions
+// (internal/ch) — the engine is query-agnostic, mirroring the paper's
+// plugin design.
+type Exec interface {
+	NewLocal() Local
+	Merge(locals []Local) Result
+}
+
+// Query describes an analytical query to the engine and the scheduler.
+type Query interface {
+	// Name is the query's display name ("Q6").
+	Name() string
+	// Class is the CPU-intensity class for the cost model.
+	Class() costmodel.WorkClass
+	// FactTable names the scanned fact table.
+	FactTable() string
+	// Columns returns the fact-table column indexes the scan touches.
+	Columns() []int
+	// Prepare builds the executor, reading any dimension (build-side)
+	// state; it returns the build-side bytes for broadcast costing.
+	Prepare() (Exec, int64)
+}
+
+// Result is a small materialized result set.
+type Result struct {
+	Cols []string
+	Rows [][]float64
+}
+
+// Stats reports what one execution actually touched.
+type Stats struct {
+	RowsScanned int64
+	// BytesAt[s] is payload read from socket s.
+	BytesAt []int64
+	// BuildBytes is broadcast build-side volume.
+	BuildBytes int64
+	// Workers is the number of goroutines used.
+	Workers int
+}
+
+// Engine executes queries with a worker pool whose size and placement the
+// RDE engine adjusts (the OLAP Worker Manager, §3.3).
+type Engine struct {
+	mu        sync.Mutex
+	placement topology.Placement
+	sockets   int
+}
+
+// NewEngine returns an engine for a machine with the given socket count.
+func NewEngine(sockets int) *Engine {
+	return &Engine{sockets: sockets}
+}
+
+// SetPlacement installs the worker pool's core allocation.
+func (e *Engine) SetPlacement(p topology.Placement) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.placement = p.Clone()
+}
+
+// Placement returns the current allocation.
+func (e *Engine) Placement() topology.Placement {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.placement.Clone()
+}
+
+type morsel struct {
+	part   int
+	lo, hi int64
+}
+
+// Execute runs the query over the source with the current worker pool and
+// returns the materialized result plus scan statistics. Work is split into
+// chunk-aligned morsels consumed by one goroutine per allocated core with
+// thread-local state, merged at the end — the paper's pipelined block
+// routing, with the NUMA effects charged separately by the cost model.
+func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
+	if err := src.Validate(); err != nil {
+		return Result{}, Stats{}, err
+	}
+	exec, buildBytes := q.Prepare()
+	cols := q.Columns()
+
+	workers := e.Placement().Total()
+	if workers < 1 {
+		workers = 1
+	}
+
+	var morsels []morsel
+	for pi, p := range src.Parts {
+		for lo := p.Lo; lo < p.Hi; {
+			hi := (lo/columnar.ChunkSize + 1) * columnar.ChunkSize
+			if hi > p.Hi {
+				hi = p.Hi
+			}
+			morsels = append(morsels, morsel{part: pi, lo: lo, hi: hi})
+			lo = hi
+		}
+	}
+
+	locals := make([]Local, workers)
+	for i := range locals {
+		locals[i] = exec.NewLocal()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := locals[w]
+			blk := Block{Cols: make([][]int64, len(cols))}
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(morsels)) {
+					return
+				}
+				m := morsels[i]
+				p := src.Parts[m.part]
+				for k, c := range cols {
+					blk.Cols[k] = p.Data.Col(c).Slice(m.lo, m.hi)
+				}
+				blk.Base = m.lo
+				blk.N = int(m.hi - m.lo)
+				local.Consume(blk)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := exec.Merge(locals)
+	st := Stats{
+		RowsScanned: src.Rows(),
+		BytesAt:     src.BytesAt(e.sockets, len(cols)),
+		BuildBytes:  buildBytes,
+		Workers:     workers,
+	}
+	return res, st, nil
+}

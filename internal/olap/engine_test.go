@@ -1,0 +1,169 @@
+package olap
+
+import (
+	"testing"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/topology"
+)
+
+// sumExec sums column 0; a minimal Exec for engine tests.
+type sumExec struct{}
+
+type sumLocal struct{ sum int64 }
+
+func (l *sumLocal) Consume(b Block) {
+	for _, v := range b.Cols[0] {
+		l.sum += v
+	}
+}
+
+func (e *sumExec) NewLocal() Local { return &sumLocal{} }
+
+func (e *sumExec) Merge(locals []Local) Result {
+	var s int64
+	for _, l := range locals {
+		s += l.(*sumLocal).sum
+	}
+	return Result{Cols: []string{"sum"}, Rows: [][]float64{{float64(s)}}}
+}
+
+type sumQuery struct{ exec *sumExec }
+
+func (q *sumQuery) Name() string               { return "sum" }
+func (q *sumQuery) Class() costmodel.WorkClass { return costmodel.ScanReduce }
+func (q *sumQuery) FactTable() string          { return "t" }
+func (q *sumQuery) Columns() []int             { return []int{0} }
+func (q *sumQuery) Prepare() (Exec, int64)     { return q.exec, 0 }
+
+func buildTable(n int64) *columnar.Table {
+	tab := columnar.NewTable(columnar.Schema{
+		Name:    "t",
+		Columns: []columnar.ColumnDef{{Name: "v", Type: columnar.Int64}},
+	}, n)
+	batch := make([][]int64, 0, 4096)
+	for i := int64(0); i < n; i++ {
+		batch = append(batch, []int64{i})
+		if len(batch) == 4096 {
+			tab.AppendRows(batch, 0)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		tab.AppendRows(batch, 0)
+	}
+	return tab
+}
+
+func TestExecuteSumSinglePart(t *testing.T) {
+	const n = 100_000
+	tab := buildTable(n)
+	e := NewEngine(2)
+	e.SetPlacement(topology.Placement{PerSocket: []int{0, 8}})
+	src := Source{Table: tab, Parts: []Part{
+		{Data: tab.Active(), Lo: 0, Hi: n, Socket: 0},
+	}}
+	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * (n - 1) / 2
+	if res.Rows[0][0] != want {
+		t.Fatalf("sum = %v, want %v", res.Rows[0][0], want)
+	}
+	if st.RowsScanned != n {
+		t.Fatalf("rows scanned = %d", st.RowsScanned)
+	}
+	if st.BytesAt[0] != n*8 || st.BytesAt[1] != 0 {
+		t.Fatalf("bytes = %v", st.BytesAt)
+	}
+	if st.Workers != 8 {
+		t.Fatalf("workers = %d", st.Workers)
+	}
+}
+
+func TestExecuteSplitPartsEquivalent(t *testing.T) {
+	const n = 50_000
+	tab := buildTable(n)
+	e := NewEngine(2)
+	e.SetPlacement(topology.Placement{PerSocket: []int{2, 2}})
+	single := Source{Table: tab, Parts: []Part{
+		{Data: tab.Active(), Lo: 0, Hi: n, Socket: 0},
+	}}
+	split := Source{Table: tab, Parts: []Part{
+		{Data: tab.Active(), Lo: 0, Hi: n / 3, Socket: 1},
+		{Data: tab.Active(), Lo: n / 3, Hi: n, Socket: 0},
+	}}
+	r1, _, err := e.Execute(&sumQuery{exec: &sumExec{}}, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, st2, err := e.Execute(&sumQuery{exec: &sumExec{}}, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0] != r2.Rows[0][0] {
+		t.Fatalf("split access changed the result: %v vs %v", r1.Rows[0][0], r2.Rows[0][0])
+	}
+	if st2.BytesAt[1] == 0 || st2.BytesAt[0] == 0 {
+		t.Fatalf("split bytes not attributed per socket: %v", st2.BytesAt)
+	}
+}
+
+func TestExecuteZeroWorkersFallsBackToOne(t *testing.T) {
+	tab := buildTable(1000)
+	e := NewEngine(2)
+	e.SetPlacement(topology.Placement{PerSocket: []int{0, 0}})
+	src := Source{Table: tab, Parts: []Part{{Data: tab.Active(), Lo: 0, Hi: 1000, Socket: 0}}}
+	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("workers = %d, want fallback 1", st.Workers)
+	}
+	if res.Rows[0][0] != float64(1000*999/2) {
+		t.Fatal("wrong sum")
+	}
+}
+
+func TestExecuteEmptySource(t *testing.T) {
+	tab := buildTable(10)
+	e := NewEngine(2)
+	e.SetPlacement(topology.Placement{PerSocket: []int{1, 0}})
+	src := Source{Table: tab, Parts: nil}
+	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 0 || st.RowsScanned != 0 {
+		t.Fatal("empty source must produce zero")
+	}
+}
+
+func TestSourceValidate(t *testing.T) {
+	tab := buildTable(10)
+	bad := Source{Table: nil}
+	if bad.Validate() == nil {
+		t.Fatal("nil table must fail")
+	}
+	bad = Source{Table: tab, Parts: []Part{{Data: nil, Lo: 0, Hi: 5}}}
+	if bad.Validate() == nil {
+		t.Fatal("nil data must fail")
+	}
+	bad = Source{Table: tab, Parts: []Part{{Data: tab.Active(), Lo: 5, Hi: 1}}}
+	if bad.Validate() == nil {
+		t.Fatal("inverted range must fail")
+	}
+}
+
+func TestPartRows(t *testing.T) {
+	p := Part{Lo: 10, Hi: 25}
+	if p.Rows() != 15 {
+		t.Fatalf("Rows = %d", p.Rows())
+	}
+	if (Part{Lo: 5, Hi: 2}).Rows() != 0 {
+		t.Fatal("inverted range must report 0 rows")
+	}
+}

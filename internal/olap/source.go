@@ -1,0 +1,86 @@
+// Package olap implements the paper's analytical engine (§3.3): a
+// NUMA-aware, block-at-a-time parallel query executor over columnar data
+// with pluggable access paths. The Storage Manager "accepts as input a
+// pointer to the memory areas where the data are stored at execution time";
+// here a Source lists those areas as Parts — contiguous row ranges of a
+// physical column store with a home socket — which is exactly the
+// contiguous-versus-partitioned plugin pair the paper describes: one Part
+// for a single memory area, several Parts when fresh data is read from the
+// OLTP instance and cold data from the OLAP instance (split access).
+package olap
+
+import (
+	"fmt"
+
+	"elastichtap/internal/columnar"
+)
+
+// ColumnSource is any physical columnar store the engine can scan: the
+// OLTP instances (*columnar.Instance) and the OLAP replica
+// (*columnar.Replica) both qualify.
+type ColumnSource interface {
+	Col(c int) *columnar.Words
+}
+
+// Part is one contiguous memory area: rows [Lo, Hi) of a physical store,
+// homed on a NUMA socket.
+type Part struct {
+	Data   ColumnSource
+	Lo, Hi int64
+	Socket int
+	// Label describes the part for diagnostics ("olap-replica",
+	// "oltp-snapshot").
+	Label string
+}
+
+// Rows returns the part's row count.
+func (p Part) Rows() int64 {
+	if p.Hi < p.Lo {
+		return 0
+	}
+	return p.Hi - p.Lo
+}
+
+// Source is an access path: the table (for schema and dictionaries) plus
+// the memory areas to scan. A single Part is the paper's contiguous access
+// method; multiple Parts are the partitioned (split) method.
+type Source struct {
+	Table *columnar.Table
+	Parts []Part
+}
+
+// Rows returns the total rows across parts.
+func (s Source) Rows() int64 {
+	var n int64
+	for _, p := range s.Parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+// BytesAt returns per-socket payload bytes for scanning ncols columns.
+func (s Source) BytesAt(sockets int, ncols int) []int64 {
+	out := make([]int64, sockets)
+	for _, p := range s.Parts {
+		if p.Socket >= 0 && p.Socket < sockets {
+			out[p.Socket] += p.Rows() * int64(ncols) * columnar.WordBytes
+		}
+	}
+	return out
+}
+
+// Validate checks part ranges.
+func (s Source) Validate() error {
+	if s.Table == nil {
+		return fmt.Errorf("olap: source has no table")
+	}
+	for i, p := range s.Parts {
+		if p.Data == nil {
+			return fmt.Errorf("olap: part %d has no data", i)
+		}
+		if p.Lo < 0 || p.Hi < p.Lo {
+			return fmt.Errorf("olap: part %d has invalid range [%d,%d)", i, p.Lo, p.Hi)
+		}
+	}
+	return nil
+}

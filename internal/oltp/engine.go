@@ -1,0 +1,263 @@
+// Package oltp assembles the paper's OLTP engine (§3.2): the twin-instance
+// columnar Storage Manager (internal/columnar), the MV2PL Transaction
+// Manager (internal/txn), cuckoo-hash primary indexes (internal/cuckoo)
+// and an elastic Worker pool Manager whose size and placement the RDE
+// engine adjusts at runtime.
+package oltp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/cuckoo"
+	"elastichtap/internal/topology"
+	"elastichtap/internal/txn"
+)
+
+// TableHandle bundles a table with its transactional metadata.
+type TableHandle struct {
+	Ref   *txn.TableRef
+	Index *cuckoo.Table // primary-key index; may be nil for index-less tables
+}
+
+// Table returns the underlying columnar table.
+func (h *TableHandle) Table() *columnar.Table { return h.Ref.Table }
+
+// Engine is the transactional engine.
+type Engine struct {
+	mgr *txn.Manager
+
+	mu     sync.RWMutex
+	tables map[string]*TableHandle
+
+	wm *WorkerManager
+}
+
+// NewEngine returns an engine with an empty catalog.
+func NewEngine() *Engine {
+	e := &Engine{
+		mgr:    txn.NewManager(),
+		tables: map[string]*TableHandle{},
+	}
+	e.wm = newWorkerManager(e)
+	return e
+}
+
+// Manager exposes the transaction manager (the RDE engine shares its lock
+// table for instance synchronization).
+func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Workers exposes the worker pool manager.
+func (e *Engine) Workers() *WorkerManager { return e.wm }
+
+// CreateTable registers a new twin-instance table with an optional
+// primary-key index.
+func (e *Engine) CreateTable(schema columnar.Schema, capHint int64, withIndex bool) *TableHandle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[schema.Name]; dup {
+		panic(fmt.Sprintf("oltp: table %q already exists", schema.Name))
+	}
+	t := columnar.NewTable(schema, capHint)
+	h := &TableHandle{Ref: e.mgr.Register(t)}
+	if withIndex {
+		h.Index = cuckoo.New(int(capHint))
+	}
+	e.tables[schema.Name] = h
+	return h
+}
+
+// Table returns the handle for a table name, or nil.
+func (e *Engine) Table(name string) *TableHandle {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+// Tables returns all handles (stable order not guaranteed).
+func (e *Engine) Tables() []*TableHandle {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*TableHandle, 0, len(e.tables))
+	for _, h := range e.tables {
+		out = append(out, h)
+	}
+	return out
+}
+
+// TxnFunc is one transaction's logic; it runs against a snapshot-isolated
+// txn.Txn and is retried by the worker on wait-die or write conflicts.
+type TxnFunc func(t *txn.Txn) error
+
+// Workload produces transaction bodies for a worker. Implementations must
+// be safe for concurrent use across workers.
+type Workload interface {
+	// Next returns the next transaction body for the given worker.
+	Next(worker int) TxnFunc
+}
+
+// WorkerManager is the elastic worker pool (§3.2): "The WM exposes an API
+// to set the number of active worker threads and their CPU affinities".
+// Each worker simulates a full transaction queue: generate, execute,
+// repeat. Placement is bookkeeping for the cost model; execution itself
+// uses goroutines.
+type WorkerManager struct {
+	e *Engine
+
+	mu        sync.Mutex
+	placement topology.Placement
+	workload  Workload
+	cancel    chan struct{}
+	wg        sync.WaitGroup
+	running   bool
+
+	executed atomic.Uint64
+	retried  atomic.Uint64
+	failed   atomic.Uint64
+}
+
+func newWorkerManager(e *Engine) *WorkerManager {
+	return &WorkerManager{e: e}
+}
+
+// SetWorkload installs the transaction generator.
+func (wm *WorkerManager) SetWorkload(w Workload) {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	wm.workload = w
+}
+
+// SetPlacement records the worker pool's core allocation. When the pool is
+// running, it is restarted with the new size.
+func (wm *WorkerManager) SetPlacement(p topology.Placement) {
+	wm.mu.Lock()
+	running := wm.running
+	wm.mu.Unlock()
+	if running {
+		wm.Stop()
+		wm.mu.Lock()
+		wm.placement = p.Clone()
+		wm.mu.Unlock()
+		wm.Start()
+		return
+	}
+	wm.mu.Lock()
+	wm.placement = p.Clone()
+	wm.mu.Unlock()
+}
+
+// Placement returns the current core allocation.
+func (wm *WorkerManager) Placement() topology.Placement {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	return wm.placement.Clone()
+}
+
+// Executed returns the number of committed transactions processed by the
+// pool (batch and free-running combined).
+func (wm *WorkerManager) Executed() uint64 { return wm.executed.Load() }
+
+// Retried returns the number of aborted-and-retried attempts.
+func (wm *WorkerManager) Retried() uint64 { return wm.retried.Load() }
+
+// Failed returns the number of transactions abandoned after exhausting
+// retries or hitting non-retryable errors.
+func (wm *WorkerManager) Failed() uint64 { return wm.failed.Load() }
+
+// Start launches one goroutine per allocated core, each generating and
+// executing transactions until Stop.
+func (wm *WorkerManager) Start() {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	if wm.running || wm.workload == nil {
+		return
+	}
+	wm.cancel = make(chan struct{})
+	n := wm.placement.Total()
+	for i := 0; i < n; i++ {
+		wm.wg.Add(1)
+		go wm.run(i, wm.cancel)
+	}
+	wm.running = true
+}
+
+// Stop halts the pool and waits for workers to drain.
+func (wm *WorkerManager) Stop() {
+	wm.mu.Lock()
+	if !wm.running {
+		wm.mu.Unlock()
+		return
+	}
+	close(wm.cancel)
+	wm.running = false
+	wm.mu.Unlock()
+	wm.wg.Wait()
+}
+
+func (wm *WorkerManager) run(worker int, cancel <-chan struct{}) {
+	defer wm.wg.Done()
+	for {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		wm.execOne(worker)
+	}
+}
+
+func (wm *WorkerManager) execOne(worker int) {
+	body := wm.workload.Next(worker)
+	// Wait-die with sticky priorities guarantees progress; the cap only
+	// bounds pathological workloads. Dropping transactions silently would
+	// make injected workload volumes nondeterministic.
+	retries, err := wm.e.mgr.RunWithRetry(1<<20, body)
+	wm.retried.Add(uint64(retries))
+	if err == nil {
+		wm.executed.Add(1)
+	} else {
+		wm.failed.Add(1)
+	}
+}
+
+// ExecuteBatch synchronously executes n transactions spread across the
+// allocated workers and returns when all have committed. Experiment
+// drivers use it to inject a deterministic amount of transactional work
+// "during" a simulated interval.
+func (wm *WorkerManager) ExecuteBatch(n int) {
+	wm.mu.Lock()
+	workload := wm.workload
+	workers := wm.placement.Total()
+	wm.mu.Unlock()
+	if workload == nil || n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	per := n / workers
+	extra := n % workers
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(worker, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				wm.execOne(worker)
+			}
+		}(w, count)
+	}
+	wg.Wait()
+}

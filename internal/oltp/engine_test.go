@@ -1,0 +1,150 @@
+package oltp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/topology"
+	"elastichtap/internal/txn"
+)
+
+func testSchema() columnar.Schema {
+	return columnar.Schema{Name: "t", Columns: []columnar.ColumnDef{
+		{Name: "k", Type: columnar.Int64},
+		{Name: "v", Type: columnar.Int64},
+	}}
+}
+
+// counterWorkload increments a single row per transaction.
+type counterWorkload struct {
+	ref   *txn.TableRef
+	calls atomic.Int64
+}
+
+func (w *counterWorkload) Next(worker int) TxnFunc {
+	w.calls.Add(1)
+	return func(t *txn.Txn) error {
+		return t.WriteFunc(w.ref, 0, 1, func(old int64) int64 { return old + 1 })
+	}
+}
+
+func TestCreateTableAndLookup(t *testing.T) {
+	e := NewEngine()
+	h := e.CreateTable(testSchema(), 8, true)
+	if h.Index == nil {
+		t.Fatal("index requested but nil")
+	}
+	if e.Table("t") != h {
+		t.Fatal("lookup by name failed")
+	}
+	if e.Table("missing") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	if len(e.Tables()) != 1 {
+		t.Fatal("Tables() wrong")
+	}
+	h2 := e.CreateTable(columnar.Schema{Name: "u", Columns: testSchema().Columns}, 8, false)
+	if h2.Index != nil {
+		t.Fatal("index not requested but present")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate table name must panic")
+		}
+	}()
+	e.CreateTable(testSchema(), 8, true)
+}
+
+func TestExecuteBatchCounts(t *testing.T) {
+	e := NewEngine()
+	h := e.CreateTable(testSchema(), 8, false)
+	h.Table().AppendRows([][]int64{{0, 0}}, 0)
+	w := &counterWorkload{ref: h.Ref}
+	e.Workers().SetWorkload(w)
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{4}})
+	e.Workers().ExecuteBatch(100)
+	if got := e.Workers().Executed(); got != 100 {
+		t.Fatalf("executed = %d", got)
+	}
+	if got := h.Table().ReadActive(0, 1); got != 100 {
+		t.Fatalf("counter = %d (lost updates)", got)
+	}
+	if e.Workers().Failed() != 0 {
+		t.Fatalf("failed = %d", e.Workers().Failed())
+	}
+}
+
+func TestExecuteBatchZeroAndNoWorkload(t *testing.T) {
+	e := NewEngine()
+	e.Workers().ExecuteBatch(10) // no workload: must be a no-op
+	if e.Workers().Executed() != 0 {
+		t.Fatal("executed without workload")
+	}
+	h := e.CreateTable(testSchema(), 8, false)
+	h.Table().AppendRows([][]int64{{0, 0}}, 0)
+	e.Workers().SetWorkload(&counterWorkload{ref: h.Ref})
+	e.Workers().ExecuteBatch(0)
+	if e.Workers().Executed() != 0 {
+		t.Fatal("executed zero-sized batch")
+	}
+	// Zero workers falls back to one.
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{0}})
+	e.Workers().ExecuteBatch(5)
+	if e.Workers().Executed() != 5 {
+		t.Fatalf("executed = %d", e.Workers().Executed())
+	}
+}
+
+func TestStartStopFreeRunning(t *testing.T) {
+	e := NewEngine()
+	h := e.CreateTable(testSchema(), 8, false)
+	h.Table().AppendRows([][]int64{{0, 0}}, 0)
+	e.Workers().SetWorkload(&counterWorkload{ref: h.Ref})
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{2}})
+	e.Workers().Start()
+	defer e.Workers().Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Workers().Executed() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("free-running pool executed nothing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Workers().Stop()
+	after := e.Workers().Executed()
+	time.Sleep(10 * time.Millisecond)
+	if e.Workers().Executed() != after {
+		t.Fatal("pool kept running after Stop")
+	}
+	// Stop is idempotent; Start works again.
+	e.Workers().Stop()
+	e.Workers().Start()
+	e.Workers().Stop()
+}
+
+func TestSetPlacementWhileRunningRestarts(t *testing.T) {
+	e := NewEngine()
+	h := e.CreateTable(testSchema(), 8, false)
+	h.Table().AppendRows([][]int64{{0, 0}}, 0)
+	e.Workers().SetWorkload(&counterWorkload{ref: h.Ref})
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{2}})
+	e.Workers().Start()
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{1, 3}})
+	got := e.Workers().Placement()
+	if got.Total() != 4 {
+		t.Fatalf("placement total = %d", got.Total())
+	}
+	e.Workers().Stop()
+}
+
+func TestPlacementClone(t *testing.T) {
+	e := NewEngine()
+	p := topology.Placement{PerSocket: []int{3}}
+	e.Workers().SetPlacement(p)
+	p.PerSocket[0] = 99
+	if e.Workers().Placement().Total() != 3 {
+		t.Fatal("placement aliases caller storage")
+	}
+}

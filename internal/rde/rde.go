@@ -1,0 +1,311 @@
+// Package rde implements the Resource and Data Exchange engine (§3.4): the
+// integration layer that owns memory and CPU resources, switches the OLTP
+// active instance, synchronizes the twin instances through the
+// update-indication bits, performs delta-ETL into the OLAP replicas, and
+// builds the access paths (olap.Source) each system state prescribes.
+package rde
+
+import (
+	"fmt"
+	"sync"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/topology"
+	"elastichtap/internal/txn"
+)
+
+// Exchange is the RDE engine.
+type Exchange struct {
+	Ledger *topology.Ledger
+	Model  *costmodel.Model
+	OLTP   *oltp.Engine
+	OLAP   *olap.Engine
+
+	// OLTPSocket hosts the twin instances and index; OLAPSocket hosts the
+	// OLAP replicas. At bootstrap each engine gets one full socket (§5.1).
+	OLTPSocket, OLAPSocket int
+
+	mu         sync.Mutex
+	exchangeMu sync.Mutex // serializes switch+sync/ETL cycles
+	replicas   map[string]*columnar.Replica
+
+	// lifetime counters (diagnostics and tests)
+	switches   int64
+	syncedRows int64
+	etlBytes   int64
+}
+
+// New wires an exchange over the two engines. The OLTP engine keeps socket
+// oltpSocket, the OLAP engine olapSocket.
+func New(ledger *topology.Ledger, model *costmodel.Model, ol *oltp.Engine, oa *olap.Engine, oltpSocket, olapSocket int) *Exchange {
+	return &Exchange{
+		Ledger:     ledger,
+		Model:      model,
+		OLTP:       ol,
+		OLAP:       oa,
+		OLTPSocket: oltpSocket,
+		OLAPSocket: olapSocket,
+		replicas:   map[string]*columnar.Replica{},
+	}
+}
+
+// Replica returns (creating on first use) the OLAP instance of a table.
+func (x *Exchange) Replica(h *oltp.TableHandle) *columnar.Replica {
+	name := h.Table().Schema().Name
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	r := x.replicas[name]
+	if r == nil {
+		r = columnar.NewReplica(h.Table())
+		x.replicas[name] = r
+	}
+	return r
+}
+
+// Snapshot is one table's consistent snapshot after an instance switch.
+type Snapshot struct {
+	Handle *oltp.TableHandle
+	Inst   *columnar.Instance
+	// InstIndex is the snapshot's instance number (0 or 1).
+	InstIndex int
+	// Rows is the snapshot row count.
+	Rows int64
+	// SwitchTS is the transaction-manager clock at the switch; rows with a
+	// newer commit timestamp postdate the snapshot.
+	SwitchTS uint64
+}
+
+// SnapshotSet is the outcome of switching every requested table.
+type SnapshotSet struct {
+	Snaps map[string]*Snapshot
+	// CopiedRows is how many records the twin-instance sync propagated.
+	CopiedRows int64
+	// SyncSeconds is the modeled duration of the sync ("negligible ...
+	// around 10ms to sync around 1 million modified tuples", §3.4).
+	SyncSeconds float64
+}
+
+// Snap returns the snapshot for a table name, or nil.
+func (s *SnapshotSet) Snap(name string) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	return s.Snaps[name]
+}
+
+// SwitchAndSync instructs the OLTP engine to switch the active instance of
+// every table and immediately propagates divergent records to the new
+// active instance, taking per-record locks through the shared lock table
+// so copies never race committing transactions (§3.4).
+func (x *Exchange) SwitchAndSync(tables []*oltp.TableHandle) *SnapshotSet {
+	// One exchange at a time: concurrent switch+sync cycles would hand out
+	// overlapping snapshots and race the twin synchronization.
+	x.exchangeMu.Lock()
+	defer x.exchangeMu.Unlock()
+	set := &SnapshotSet{Snaps: make(map[string]*Snapshot, len(tables))}
+	locks := x.OLTP.Manager().Locks()
+	for _, h := range tables {
+		t := h.Table()
+		ts := x.OLTP.Manager().Now()
+		sw := t.Switch()
+		tabID := h.Ref.ID
+		copied := t.SyncTo(sw.SnapshotIndex, func(row int64) func() {
+			k := txn.LockKey{Tab: tabID, Row: row}
+			locks.AcquireSync(k)
+			return func() { locks.Release(k) }
+		})
+		set.CopiedRows += int64(copied)
+		set.SyncSeconds += x.Model.SyncTime(int64(copied), sw.SnapshotRows)
+		set.Snaps[t.Schema().Name] = &Snapshot{
+			Handle:    h,
+			Inst:      sw.Snapshot,
+			InstIndex: sw.SnapshotIndex,
+			Rows:      sw.SnapshotRows,
+			SwitchTS:  ts,
+		}
+	}
+	x.mu.Lock()
+	x.switches++
+	x.syncedRows += set.CopiedRows
+	x.mu.Unlock()
+	return set
+}
+
+// ETLResult summarizes one delta-ETL.
+type ETLResult struct {
+	Bytes        int64
+	UpdatedRows  int64
+	InsertedRows int64
+	// Seconds is the modeled copy duration using the OLAP engine's cores
+	// over the interconnect (§3.4 S2).
+	Seconds float64
+}
+
+// ETL copies the fresh delta of every snapshotted table into its OLAP
+// replica: updated rows individually (guided by the update-indication
+// bits), inserted rows in bulk, then advances the replica watermark.
+// Bits for records updated after the snapshot are preserved for the next
+// ETL rather than lost.
+func (x *Exchange) ETL(set *SnapshotSet) ETLResult {
+	var res ETLResult
+	for _, snap := range set.Snaps {
+		t := snap.Handle.Table()
+		rep := x.Replica(snap.Handle)
+		repRows := rep.Rows()
+		bits := t.DirtyOLAP()
+		bits.ForEachSet(func(i int) {
+			row := int64(i)
+			if row >= snap.Rows {
+				return // postdates the snapshot; keep for next time
+			}
+			bits.Clear(i)
+			if t.RowTS(row) > snap.SwitchTS {
+				// Re-updated after the snapshot: keep the record fresh for
+				// the next ETL; copying the (older) snapshot value now
+				// would only waste interconnect bandwidth.
+				bits.Set(i)
+				return
+			}
+			if row < repRows {
+				res.Bytes += rep.CopyRow(snap.Inst, row)
+				res.UpdatedRows++
+			}
+		})
+		if snap.Rows > repRows {
+			res.Bytes += rep.CopyInserts(snap.Inst, repRows, snap.Rows)
+			res.InsertedRows += snap.Rows - repRows
+		}
+	}
+	res.Seconds = x.Model.ETLTime(res.Bytes, x.Ledger.Count(x.OLAPSocket, topology.OLAP))
+	x.mu.Lock()
+	x.etlBytes += res.Bytes
+	x.mu.Unlock()
+	return res
+}
+
+// Freshness is the scheduler's driving metric (§4.2).
+type Freshness struct {
+	// Nfq is the fresh data the OLAP engine must obtain to satisfy the
+	// current query with freshness-rate 1: the full-row bytes of the fact
+	// table's fresh records (the ETL granularity is whole records). As
+	// inserts accumulate while the bounded update working-set saturates,
+	// Nfq/Nft approaches 1 and Algorithm 2 migrates to S2 (§4.2).
+	Nfq int64
+	// NfqColumns is the same measure restricted to the columns the query
+	// scans — the fresh bytes actually crossing the interconnect under
+	// split access (Figure 4's x-axis).
+	NfqColumns int64
+	// Nft is the fresh bytes needed to update the whole OLAP instance.
+	Nft int64
+	// QueryFreshRows / QueryUpdatedRows describe the query's fact table.
+	QueryFreshRows   int64
+	QueryUpdatedRows int64
+	// Rate is the freshness-rate metric: identical tuples over total
+	// tuples between the OLAP replicas and the active OLTP instances.
+	Rate float64
+}
+
+// MeasureFreshness computes Nfq for a query over factTable touching nCols
+// columns, and Nft across all tables, relative to the OLAP replicas.
+func (x *Exchange) MeasureFreshness(tables []*oltp.TableHandle, factTable string, nCols int) Freshness {
+	var f Freshness
+	var totalRows, freshRows int64
+	for _, h := range tables {
+		t := h.Table()
+		rep := x.Replica(h)
+		st := t.FreshSince(rep.Rows())
+		fresh := st.UpdatedRows + st.InsertedRows
+		f.Nft += fresh * t.Schema().RowBytes()
+		totalRows += st.Rows
+		freshRows += fresh
+		if t.Schema().Name == factTable {
+			f.QueryFreshRows = fresh
+			f.QueryUpdatedRows = st.UpdatedRows
+			f.Nfq = fresh * t.Schema().RowBytes()
+			f.NfqColumns = fresh * int64(nCols) * columnar.WordBytes
+		}
+	}
+	if totalRows > 0 {
+		f.Rate = float64(totalRows-freshRows) / float64(totalRows)
+	} else {
+		f.Rate = 1
+	}
+	return f
+}
+
+// AccessMethod selects how a query reads its fact table.
+type AccessMethod int8
+
+const (
+	// ReadReplica scans the OLAP replica only (after ETL; state S2).
+	ReadReplica AccessMethod = iota
+	// ReadSnapshot scans the whole OLTP snapshot instance (states S1,
+	// S3-NI without split, S3-IS full-remote).
+	ReadSnapshot
+	// ReadSplit scans the OLAP replica for cold rows and the OLTP snapshot
+	// for fresh rows (the split-access optimization, §5.2, valid only for
+	// insert-only tables).
+	ReadSplit
+)
+
+// String names the access method.
+func (m AccessMethod) String() string {
+	switch m {
+	case ReadReplica:
+		return "replica"
+	case ReadSnapshot:
+		return "snapshot"
+	case ReadSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("method(%d)", int8(m))
+	}
+}
+
+// SourceFor builds the olap.Source realizing the access method for the
+// query's fact table. Data homed on the OLTP socket stays there even when
+// memory ownership moves between engines, matching the paper's S1 where
+// both engines access memory allocated by the OLTP engine.
+func (x *Exchange) SourceFor(method AccessMethod, snap *Snapshot) olap.Source {
+	t := snap.Handle.Table()
+	rep := x.Replica(snap.Handle)
+	switch method {
+	case ReadReplica:
+		return olap.Source{Table: t, Parts: []olap.Part{
+			{Data: rep, Lo: 0, Hi: rep.Rows(), Socket: x.OLAPSocket, Label: "olap-replica"},
+		}}
+	case ReadSnapshot:
+		return olap.Source{Table: t, Parts: []olap.Part{
+			{Data: snap.Inst, Lo: 0, Hi: snap.Rows, Socket: x.OLTPSocket, Label: "oltp-snapshot"},
+		}}
+	case ReadSplit:
+		repRows := rep.Rows()
+		if repRows > snap.Rows {
+			repRows = snap.Rows
+		}
+		src := olap.Source{Table: t}
+		if repRows > 0 {
+			src.Parts = append(src.Parts, olap.Part{
+				Data: rep, Lo: 0, Hi: repRows, Socket: x.OLAPSocket, Label: "olap-replica",
+			})
+		}
+		if snap.Rows > repRows {
+			src.Parts = append(src.Parts, olap.Part{
+				Data: snap.Inst, Lo: repRows, Hi: snap.Rows, Socket: x.OLTPSocket, Label: "oltp-snapshot",
+			})
+		}
+		return src
+	default:
+		panic(fmt.Sprintf("rde: unknown access method %d", method))
+	}
+}
+
+// Counters reports lifetime statistics.
+func (x *Exchange) Counters() (switches, syncedRows, etlBytes int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.switches, x.syncedRows, x.etlBytes
+}

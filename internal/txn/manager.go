@@ -1,0 +1,443 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/vm"
+)
+
+// ErrConflict is returned when first-updater-wins validation fails: the
+// record was committed by another transaction after this one began, so
+// writing it would violate snapshot isolation.
+var ErrConflict = errors.New("txn: write-write conflict (first updater wins)")
+
+// ErrAborted is returned from operations on a transaction that has already
+// aborted or committed.
+var ErrAborted = errors.New("txn: transaction is not active")
+
+// TableRef couples a registered table with its version store and lock
+// namespace. Obtain one from Manager.Register.
+type TableRef struct {
+	ID       uint32
+	Table    *columnar.Table
+	Versions *vm.Store
+}
+
+// ConflictPolicy selects how lock conflicts resolve.
+type ConflictPolicy int8
+
+const (
+	// WaitDie (default): older requesters wait, younger ones abort, and
+	// restarts keep their original priority — deadlock-free and
+	// starvation-free. The paper's deadlock-avoidance choice (§3.2).
+	WaitDie ConflictPolicy = iota
+	// NoWait: any conflict aborts the requester immediately. Simpler and
+	// lower-latency under low contention, but abort-heavy under skew; the
+	// ablation benchmarks compare the two.
+	NoWait
+)
+
+// Manager issues timestamps, tracks active transactions for garbage
+// collection, and owns the record lock table.
+type Manager struct {
+	clock atomic.Uint64
+	locks *LockTable
+
+	mu     sync.Mutex
+	tables []*TableRef
+	active map[uint64]struct{}
+	policy ConflictPolicy
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewManager returns an empty transaction manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:  NewLockTable(),
+		active: map[uint64]struct{}{},
+	}
+}
+
+// Register assigns a lock/GC namespace to a table.
+func (m *Manager) Register(t *columnar.Table) *TableRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ref := &TableRef{ID: uint32(len(m.tables) + 1), Table: t, Versions: vm.NewStore()}
+	m.tables = append(m.tables, ref)
+	return ref
+}
+
+// Locks exposes the record lock table (the RDE engine shares it for
+// instance synchronization).
+func (m *Manager) Locks() *LockTable { return m.locks }
+
+// SetPolicy selects the conflict policy for subsequent lock requests.
+func (m *Manager) SetPolicy(p ConflictPolicy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+}
+
+// Policy returns the current conflict policy.
+func (m *Manager) Policy() ConflictPolicy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// Now returns the current timestamp without advancing the clock.
+func (m *Manager) Now() uint64 { return m.clock.Load() }
+
+// Commits and Aborts report lifetime counters.
+func (m *Manager) Commits() uint64 { return m.commits.Load() }
+
+// Aborts reports the number of aborted transactions.
+func (m *Manager) Aborts() uint64 { return m.aborts.Load() }
+
+// Begin starts a snapshot-isolated transaction whose wait-die priority is
+// its begin timestamp.
+func (m *Manager) Begin() *Txn {
+	ts := m.clock.Add(1)
+	m.mu.Lock()
+	m.active[ts] = struct{}{}
+	m.mu.Unlock()
+	return &Txn{m: m, begin: ts, priority: ts, status: statusActive}
+}
+
+// BeginWithPriority starts a transaction that reads a fresh snapshot but
+// keeps an earlier wait-die priority. Restarted transactions reuse their
+// original timestamp so they age and cannot starve — the standard wait-die
+// restart rule.
+func (m *Manager) BeginWithPriority(priority uint64) *Txn {
+	t := m.Begin()
+	if priority != 0 && priority < t.priority {
+		t.priority = priority
+	}
+	return t
+}
+
+func (m *Manager) finish(t *Txn) {
+	m.mu.Lock()
+	delete(m.active, t.begin)
+	m.mu.Unlock()
+}
+
+// MinActive returns the begin timestamp of the oldest active transaction,
+// or the current clock when none are active. The vm garbage collector uses
+// it as its reclamation watermark.
+func (m *Manager) MinActive() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min := m.clock.Load()
+	for ts := range m.active {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// GC truncates version chains no active transaction can read and returns
+// the number of versions reclaimed.
+func (m *Manager) GC() int {
+	watermark := m.MinActive()
+	m.mu.Lock()
+	tables := append([]*TableRef(nil), m.tables...)
+	m.mu.Unlock()
+	n := 0
+	for _, ref := range tables {
+		n += ref.Versions.GC(watermark)
+	}
+	return n
+}
+
+type txnStatus int8
+
+const (
+	statusActive txnStatus = iota
+	statusCommitted
+	statusAborted
+)
+
+type writeOp struct {
+	ref *TableRef
+	row int64
+	col int
+	val int64
+}
+
+type insertOp struct {
+	ref      *TableRef
+	rows     [][]int64
+	onCommit func(firstRow int64)
+}
+
+// Txn is a snapshot-isolated MV2PL transaction. Reads see the database as
+// of the begin timestamp (plus the transaction's own writes); writes take
+// exclusive record locks immediately (growing phase) and are applied to
+// the active instance at commit.
+type Txn struct {
+	m        *Manager
+	begin    uint64
+	priority uint64 // wait-die priority; begin of the first attempt
+	status   txnStatus
+
+	held    []LockKey
+	holding map[LockKey]struct{}
+	writes  []writeOp
+	wIndex  map[LockKey]map[int]int // lock key -> col -> writes index
+	inserts []insertOp
+}
+
+// Begin returns the transaction's begin (snapshot) timestamp.
+func (t *Txn) Begin() uint64 { return t.begin }
+
+// Priority returns the wait-die priority (smaller = older = wins).
+func (t *Txn) Priority() uint64 { return t.priority }
+
+func (t *Txn) lockKey(ref *TableRef, row int64) LockKey {
+	return LockKey{Tab: ref.ID, Row: row}
+}
+
+// Read returns the visible value of (row, col): the transaction's own
+// uncommitted write if present, the current in-place value if its newest
+// version is within the snapshot, or the version-chain image otherwise.
+// ok is false when the row is invisible (inserted after the snapshot).
+func (t *Txn) Read(ref *TableRef, row int64, col int) (int64, bool) {
+	if t.status != statusActive {
+		return 0, false
+	}
+	k := t.lockKey(ref, row)
+	if cols, ok := t.wIndex[k]; ok {
+		if wi, ok := cols[col]; ok {
+			return t.writes[wi].val, true
+		}
+	}
+	if _, mine := t.holding[k]; mine {
+		// We hold the record lock (validated rowTS <= begin at acquire),
+		// so the in-place cells are stable and visible.
+		if row >= ref.Table.Rows() {
+			return 0, false
+		}
+		return ref.Table.ReadActive(row, col), true
+	}
+	return readCommitted(t.m.locks, ref, row, col, t.begin)
+}
+
+// readCommitted resolves a snapshot read against storage. The active
+// instance is read optimistically: load the row timestamp, the cell, then
+// the timestamp again. A row whose record lock is held is mid-commit —
+// its cells may be half-written even when the row timestamp looks stable
+// — so locked or unstable rows fall back to the version chain, where the
+// committer pushed the full-row pre-image before mutating anything.
+func readCommitted(locks *LockTable, ref *TableRef, row int64, col int, asOf uint64) (int64, bool) {
+	if row >= ref.Table.Rows() {
+		return 0, false
+	}
+	k := LockKey{Tab: ref.ID, Row: row}
+	for attempt := 0; attempt < 3; attempt++ {
+		ts1 := ref.Table.RowTS(row)
+		if ts1 > asOf {
+			break
+		}
+		if locks.Held(k) {
+			continue
+		}
+		v := ref.Table.ReadActive(row, col)
+		ts2 := ref.Table.RowTS(row)
+		if ts1 == ts2 && !locks.Held(k) {
+			return v, true
+		}
+	}
+	img, ok := ref.Versions.ReadAsOf(row, asOf)
+	if !ok {
+		return 0, false
+	}
+	return img[col], true
+}
+
+// Write buffers a cell write after taking the record's exclusive lock and
+// validating first-updater-wins. Returns ErrDie (caller should abort and
+// retry) or ErrConflict (snapshot-isolation write conflict).
+func (t *Txn) Write(ref *TableRef, row int64, col int, val int64) error {
+	if t.status != statusActive {
+		return ErrAborted
+	}
+	k := t.lockKey(ref, row)
+	if _, mine := t.holding[k]; !mine {
+		var err error
+		if t.m.Policy() == NoWait {
+			err = t.m.locks.TryAcquire(k, t.priority)
+		} else {
+			err = t.m.locks.Acquire(k, t.priority)
+		}
+		if err != nil {
+			return err
+		}
+		if t.holding == nil {
+			t.holding = map[LockKey]struct{}{}
+		}
+		t.holding[k] = struct{}{}
+		t.held = append(t.held, k)
+		// First-updater-wins: a version committed after our snapshot means
+		// a concurrent writer already won.
+		if ref.Table.RowTS(row) > t.begin {
+			return ErrConflict
+		}
+		// Push the full-row pre-image NOW, not at commit: concurrent
+		// snapshot readers treat locked rows as mid-commit and resolve
+		// through the version chain, so the chain must already hold the
+		// pre-lock image. If this transaction aborts, the pushed version
+		// duplicates the live row (same timestamp, same values) — harmless
+		// until garbage collection reclaims it.
+		width := len(ref.Table.Schema().Columns)
+		img := make([]int64, width)
+		for c := 0; c < width; c++ {
+			img[c] = ref.Table.ReadActive(row, c)
+		}
+		ref.Versions.Push(row, ref.Table.RowTS(row), img)
+	}
+	if t.wIndex == nil {
+		t.wIndex = map[LockKey]map[int]int{}
+	}
+	cols := t.wIndex[k]
+	if cols == nil {
+		cols = map[int]int{}
+		t.wIndex[k] = cols
+	}
+	if wi, ok := cols[col]; ok {
+		t.writes[wi].val = val
+		return nil
+	}
+	cols[col] = len(t.writes)
+	t.writes = append(t.writes, writeOp{ref: ref, row: row, col: col, val: val})
+	return nil
+}
+
+// WriteFunc applies fn to the visible value and writes the result, a
+// convenience for read-modify-write cells (stock levels, order counters).
+func (t *Txn) WriteFunc(ref *TableRef, row int64, col int, fn func(old int64) int64) error {
+	v, ok := t.Read(ref, row, col)
+	if !ok {
+		return fmt.Errorf("txn: row %d of table %q invisible to snapshot %d",
+			row, ref.Table.Schema().Name, t.begin)
+	}
+	return t.Write(ref, row, col, fn(v))
+}
+
+// Insert buffers whole-row inserts; rows are appended to both instances at
+// commit and onCommit (may be nil) receives the first assigned row ID so
+// the caller can maintain primary-key indexes.
+func (t *Txn) Insert(ref *TableRef, rows [][]int64, onCommit func(firstRow int64)) error {
+	if t.status != statusActive {
+		return ErrAborted
+	}
+	t.inserts = append(t.inserts, insertOp{ref: ref, rows: rows, onCommit: onCommit})
+	return nil
+}
+
+// Commit applies the write set to the active instances, pushing full-row
+// pre-images to the delta store first (newest-to-oldest chains), appends
+// inserts to both instances, and releases all locks.
+func (t *Txn) Commit() error {
+	if t.status != statusActive {
+		return ErrAborted
+	}
+	commitTS := t.m.clock.Add(1)
+
+	// Apply the write set in place, pinning each table's active instance
+	// for ALL of this transaction's writes to it, so a concurrent instance
+	// switch cannot split a row's (or a table's) cells across the twins.
+	// Pre-images were pushed at lock time, so snapshot readers can already
+	// resolve around these rows.
+	var order []*TableRef
+	perTable := map[*TableRef][]writeOp{}
+	for _, w := range t.writes {
+		if _, seen := perTable[w.ref]; !seen {
+			order = append(order, w.ref)
+		}
+		perTable[w.ref] = append(perTable[w.ref], w)
+	}
+	for _, ref := range order {
+		ref.Table.BeginApply()
+		for _, w := range perTable[ref] {
+			ref.Table.UpdateCell(w.row, w.col, w.val, commitTS)
+		}
+		ref.Table.EndApply()
+	}
+	for _, ins := range t.inserts {
+		first := ins.ref.Table.AppendRows(ins.rows, commitTS)
+		if ins.onCommit != nil {
+			ins.onCommit(first)
+		}
+	}
+	t.releaseAll()
+	t.status = statusCommitted
+	t.m.finish(t)
+	t.m.commits.Add(1)
+	return nil
+}
+
+// Abort drops buffered work and releases all locks.
+func (t *Txn) Abort() {
+	if t.status != statusActive {
+		return
+	}
+	t.releaseAll()
+	t.status = statusAborted
+	t.m.finish(t)
+	t.m.aborts.Add(1)
+}
+
+func (t *Txn) releaseAll() {
+	for _, k := range t.held {
+		t.m.locks.Release(k)
+	}
+	t.held = nil
+	t.holding = nil
+}
+
+// RunWithRetry executes body in a fresh transaction, retrying on wait-die
+// and first-updater conflicts up to maxRetries times. body must be
+// idempotent across attempts. Restarts keep their first attempt's
+// priority (the wait-die anti-starvation rule) and back off exponentially
+// after repeated aborts, so a young transaction spins instead of burning
+// its retry budget while an older holder drains a wait cascade. It
+// returns the number of aborts observed.
+func (m *Manager) RunWithRetry(maxRetries int, body func(t *Txn) error) (retries int, err error) {
+	var priority uint64
+	for attempt := 0; ; attempt++ {
+		t := m.BeginWithPriority(priority)
+		if attempt == 0 {
+			priority = t.Priority()
+		}
+		err = body(t)
+		if err == nil {
+			err = t.Commit()
+		}
+		if err == nil {
+			return attempt, nil
+		}
+		t.Abort()
+		if !errors.Is(err, ErrDie) && !errors.Is(err, ErrConflict) {
+			return attempt, err
+		}
+		if attempt >= maxRetries {
+			return attempt, fmt.Errorf("txn: giving up after %d retries: %w", attempt, err)
+		}
+		if attempt >= 8 {
+			shift := attempt - 8
+			if shift > 10 {
+				shift = 10
+			}
+			time.Sleep(time.Microsecond << shift)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"elastichtap/internal/columnar"
+)
+
+func newTestTable(t *testing.T, rows int) (*Manager, *TableRef) {
+	t.Helper()
+	m := NewManager()
+	tab := columnar.NewTable(columnar.Schema{
+		Name: "acct",
+		Columns: []columnar.ColumnDef{
+			{Name: "id", Type: columnar.Int64},
+			{Name: "bal", Type: columnar.Int64},
+		},
+	}, int64(rows))
+	var rs [][]int64
+	for i := 0; i < rows; i++ {
+		rs = append(rs, []int64{int64(i), 100})
+	}
+	tab.AppendRows(rs, 0)
+	return m, m.Register(tab)
+}
+
+func TestReadCommittedSnapshot(t *testing.T) {
+	m, ref := newTestTable(t, 2)
+
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if err := t1.Write(ref, 0, 1, 250); err != nil {
+		t.Fatal(err)
+	}
+	// t2 must not see t1's uncommitted write.
+	if v, ok := t2.Read(ref, 0, 1); !ok || v != 100 {
+		t.Fatalf("t2 sees %d,%v", v, ok)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Still invisible: t2's snapshot predates the commit.
+	if v, _ := t2.Read(ref, 0, 1); v != 100 {
+		t.Fatalf("snapshot violated: t2 sees %d", v)
+	}
+	t2.Abort()
+	// A new transaction sees the committed value.
+	t3 := m.Begin()
+	if v, _ := t3.Read(ref, 0, 1); v != 250 {
+		t.Fatalf("t3 sees %d", v)
+	}
+	t3.Abort()
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	tx := m.Begin()
+	if err := tx.Write(ref, 0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tx.Read(ref, 0, 1); !ok || v != 7 {
+		t.Fatalf("own write invisible: %d,%v", v, ok)
+	}
+	tx.Abort()
+	// Aborted: nothing changed.
+	t2 := m.Begin()
+	if v, _ := t2.Read(ref, 0, 1); v != 100 {
+		t.Fatalf("abort leaked: %d", v)
+	}
+	t2.Abort()
+}
+
+func TestFirstUpdaterWins(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if err := t1.Write(ref, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// t2's snapshot predates t1's commit: writing the same record must
+	// fail with a write-write conflict.
+	err := t2.Write(ref, 0, 1, 2)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	t2.Abort()
+}
+
+func TestWaitDieYoungerDies(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	older := m.Begin()
+	younger := m.Begin()
+	if err := older.Write(ref, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Younger requester must die, not wait.
+	if err := younger.Write(ref, 0, 1, 2); !errors.Is(err, ErrDie) {
+		t.Fatalf("err = %v, want ErrDie", err)
+	}
+	younger.Abort()
+	older.Abort()
+}
+
+func TestOlderWaitsForYounger(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	older := m.Begin()
+	younger := m.Begin()
+	if err := younger.Write(ref, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Older requester waits for the younger holder.
+		done <- older.Write(ref, 0, 1, 6)
+	}()
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	// After the younger commits, the older acquires the lock but then
+	// fails first-updater-wins validation.
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict after wait", err)
+	}
+	older.Abort()
+}
+
+func TestVersionChainReadForOldSnapshot(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	reader := m.Begin() // snapshot before updates
+	for i := 0; i < 5; i++ {
+		tx := m.Begin()
+		if err := tx.Write(ref, 0, 1, int64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := reader.Read(ref, 0, 1); !ok || v != 100 {
+		t.Fatalf("old snapshot reads %d,%v want 100", v, ok)
+	}
+	reader.Abort()
+}
+
+func TestInsertVisibility(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	before := m.Begin()
+	tx := m.Begin()
+	var firstRow int64 = -1
+	if err := tx.Insert(ref, [][]int64{{9, 900}}, func(first int64) { firstRow = first }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if firstRow != 1 {
+		t.Fatalf("assigned row = %d", firstRow)
+	}
+	// Inserted row invisible to the earlier snapshot.
+	if _, ok := before.Read(ref, firstRow, 1); ok {
+		t.Fatal("insert visible to older snapshot")
+	}
+	before.Abort()
+	after := m.Begin()
+	if v, ok := after.Read(ref, firstRow, 1); !ok || v != 900 {
+		t.Fatalf("insert invisible to new snapshot: %d,%v", v, ok)
+	}
+	after.Abort()
+}
+
+func TestRunWithRetry(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	attempts := 0
+	retries, err := m.RunWithRetry(10, func(tx *Txn) error {
+		attempts++
+		if attempts < 3 {
+			return ErrDie // simulated wait-die aborts
+		}
+		return tx.Write(ref, 0, 1, 42)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Fatalf("retries = %d", retries)
+	}
+	if m.Aborts() != 2 || m.Commits() != 1 {
+		t.Fatalf("commits=%d aborts=%d", m.Commits(), m.Aborts())
+	}
+}
+
+func TestGCReclaimsOldVersions(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := m.RunWithRetry(0, func(tx *Txn) error {
+			return tx.Write(ref, 0, 1, int64(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ref.Versions.ChainLen(0) != 10 {
+		t.Fatalf("chain = %d", ref.Versions.ChainLen(0))
+	}
+	reclaimed := m.GC()
+	if reclaimed == 0 {
+		t.Fatal("GC reclaimed nothing with no active transactions")
+	}
+	// The newest committed value must survive.
+	tx := m.Begin()
+	if v, _ := tx.Read(ref, 0, 1); v != 9 {
+		t.Fatalf("after GC value = %d", v)
+	}
+	tx.Abort()
+}
+
+func TestConcurrentTransfersConserveMoney(t *testing.T) {
+	// Bank-transfer invariant under concurrency: total balance constant.
+	const accounts = 20
+	const workers = 8
+	const transfers = 200
+	m, ref := newTestTable(t, accounts)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from := int64((w + i) % accounts)
+				to := int64((w + i + 7) % accounts)
+				if from == to {
+					continue
+				}
+				_, err := m.RunWithRetry(1000, func(tx *Txn) error {
+					if err := tx.WriteFunc(ref, from, 1, func(v int64) int64 { return v - 1 }); err != nil {
+						return err
+					}
+					return tx.WriteFunc(ref, to, 1, func(v int64) int64 { return v + 1 })
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	tx := m.Begin()
+	var total int64
+	for r := int64(0); r < accounts; r++ {
+		v, ok := tx.Read(ref, r, 1)
+		if !ok {
+			t.Fatalf("row %d invisible", r)
+		}
+		total += v
+	}
+	tx.Abort()
+	if total != accounts*100 {
+		t.Fatalf("total = %d, want %d (money not conserved)", total, accounts*100)
+	}
+}
+
+func TestLockTableSyncNeverDies(t *testing.T) {
+	lt := NewLockTable()
+	k := LockKey{Tab: 1, Row: 5}
+	if err := lt.Acquire(k, 10); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		lt.AcquireSync(k) // must wait, not die
+		lt.Release(k)
+		close(done)
+	}()
+	lt.Release(k)
+	<-done
+	if lt.Held(k) {
+		t.Fatal("lock leaked")
+	}
+}
+
+func TestLockReentrant(t *testing.T) {
+	lt := NewLockTable()
+	k := LockKey{Tab: 1, Row: 1}
+	if err := lt.Acquire(k, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(k, 5); err != nil {
+		t.Fatalf("reentrant acquire: %v", err)
+	}
+	lt.Release(k)
+}
+
+func TestNoWaitPolicyAbortsImmediately(t *testing.T) {
+	m, ref := newTestTable(t, 1)
+	m.SetPolicy(NoWait)
+	if m.Policy() != NoWait {
+		t.Fatal("policy not set")
+	}
+	older := m.Begin()
+	younger := m.Begin()
+	if err := younger.Write(ref, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Under no-wait even the OLDER requester aborts instead of waiting.
+	if err := older.Write(ref, 0, 1, 6); !errors.Is(err, ErrDie) {
+		t.Fatalf("err = %v, want immediate ErrDie under no-wait", err)
+	}
+	older.Abort()
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Back to wait-die: older waits again.
+	m.SetPolicy(WaitDie)
+	if m.Policy() != WaitDie {
+		t.Fatal("policy not restored")
+	}
+}
+
+func TestTryAcquireReentrant(t *testing.T) {
+	lt := NewLockTable()
+	k := LockKey{Tab: 9, Row: 9}
+	if err := lt.TryAcquire(k, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.TryAcquire(k, 5); err != nil {
+		t.Fatalf("reentrant try-acquire: %v", err)
+	}
+	if err := lt.TryAcquire(k, 6); !errors.Is(err, ErrDie) {
+		t.Fatalf("conflicting try-acquire: %v", err)
+	}
+	lt.Release(k)
+}

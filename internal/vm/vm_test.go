@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushReadAsOf(t *testing.T) {
+	s := NewStore()
+	s.Push(1, 10, []int64{100})
+	s.Push(1, 20, []int64{200})
+	s.Push(1, 30, []int64{300})
+
+	cases := []struct {
+		ts   uint64
+		want int64
+		ok   bool
+	}{
+		{5, 0, false},
+		{10, 100, true},
+		{15, 100, true},
+		{20, 200, true},
+		{29, 200, true},
+		{30, 300, true},
+		{1000, 300, true},
+	}
+	for _, c := range cases {
+		img, ok := s.ReadAsOf(1, c.ts)
+		if ok != c.ok {
+			t.Fatalf("ReadAsOf(%d) ok=%v want %v", c.ts, ok, c.ok)
+		}
+		if ok && img[0] != c.want {
+			t.Fatalf("ReadAsOf(%d) = %d want %d", c.ts, img[0], c.want)
+		}
+	}
+}
+
+func TestNewestToOldestOrder(t *testing.T) {
+	s := NewStore()
+	for ts := uint64(1); ts <= 5; ts++ {
+		s.Push(7, ts, []int64{int64(ts)})
+	}
+	if s.ChainLen(7) != 5 {
+		t.Fatalf("chain len = %d", s.ChainLen(7))
+	}
+	// The newest version must be found without full traversal semantics:
+	// ReadAsOf(max) returns TS=5.
+	img, _ := s.ReadAsOf(7, 100)
+	if img[0] != 5 {
+		t.Fatalf("newest = %d", img[0])
+	}
+}
+
+func TestMissingRow(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.ReadAsOf(9, 100); ok {
+		t.Fatal("missing row must not resolve")
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := NewStore()
+	for ts := uint64(10); ts <= 50; ts += 10 {
+		s.Push(1, ts, []int64{int64(ts)})
+	}
+	// Oldest active reader at 35: versions 10 and 20 are unreachable
+	// (30 is the newest visible at 35, and must stay).
+	dropped := s.GC(35)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if img, ok := s.ReadAsOf(1, 35); !ok || img[0] != 30 {
+		t.Fatalf("visible at 35 after GC: %v %v", img, ok)
+	}
+	if _, ok := s.ReadAsOf(1, 15); ok {
+		t.Fatal("reclaimed version still readable")
+	}
+}
+
+func TestGCHeadOnly(t *testing.T) {
+	s := NewStore()
+	s.Push(1, 10, []int64{1})
+	if dropped := s.GC(100); dropped != 0 {
+		t.Fatalf("head must survive, dropped %d", dropped)
+	}
+	if img, ok := s.ReadAsOf(1, 100); !ok || img[0] != 1 {
+		t.Fatal("head lost")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := NewStore()
+	s.Push(1, 1, []int64{1})
+	s.Push(1, 2, []int64{2})
+	s.Push(200, 1, []int64{3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestQuickVisibilityMatchesReference(t *testing.T) {
+	// Property: ReadAsOf returns exactly the newest version with TS <= ts.
+	f := func(tss []uint8, probe uint8) bool {
+		s := NewStore()
+		var sorted []uint64
+		seen := map[uint64]bool{}
+		for _, x := range tss {
+			ts := uint64(x) + 1
+			if seen[ts] {
+				continue
+			}
+			seen[ts] = true
+			sorted = append(sorted, ts)
+		}
+		// Push in increasing TS order (commit order).
+		for i := 0; i < len(sorted); i++ {
+			min := i
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[min] {
+					min = j
+				}
+			}
+			sorted[i], sorted[min] = sorted[min], sorted[i]
+		}
+		for _, ts := range sorted {
+			s.Push(3, ts, []int64{int64(ts)})
+		}
+		var want uint64
+		for _, ts := range sorted {
+			if ts <= uint64(probe) {
+				want = ts
+			}
+		}
+		img, ok := s.ReadAsOf(3, uint64(probe))
+		if want == 0 {
+			return !ok
+		}
+		return ok && img[0] == int64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
