@@ -15,6 +15,7 @@ import (
 	"elastichtap/internal/ch"
 	"elastichtap/internal/core"
 	"elastichtap/internal/experiments"
+	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/topology"
 )
@@ -259,6 +260,82 @@ func BenchmarkQ6Execution(b *testing.B) {
 		}
 	}
 	b.SetBytes(db.OrderLine.Table().Rows() * 3 * 8)
+}
+
+// benchGoldenSetup loads a database and a direct single-part source over
+// the OrderLine active instance for kernel-level comparisons.
+func benchGoldenSetup(b *testing.B, workers int) (*ch.DB, *olap.Engine, olap.Source) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.SizingForScale(0.02), 1)
+	tab := db.OrderLine.Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "bench",
+	}}}
+	eng := olap.NewEngine(1)
+	eng.SetPlacement(placementOf(workers))
+	return db, eng, src
+}
+
+// BenchmarkQ6Handcoded and BenchmarkQ6Builder compare the hand-coded Q6
+// kernel against the builder-compiled plan on the same engine and source:
+// the abstraction cost of the generic filter/aggregate kernels.
+func BenchmarkQ6Handcoded(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q := &ch.Q6{DB: db}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ6Builder is the builder-compiled counterpart of
+// BenchmarkQ6Handcoded.
+func BenchmarkQ6Builder(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q, err := ch.Q6Plan(0, 0, 0, 0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ1Builder exercises the generic group-by kernel (compare with
+// BenchmarkQ1Handcoded).
+func BenchmarkQ1Builder(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q, err := ch.Q1Plan(0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ1Handcoded is the golden-reference counterpart.
+func BenchmarkQ1Handcoded(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q := &ch.Q1{DB: db}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkInstanceSwitch measures the real switch+sync path latency.

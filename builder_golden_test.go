@@ -1,0 +1,236 @@
+package elastichtap
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/topology"
+	"elastichtap/query"
+)
+
+// The hand-coded CH executors in internal/ch are the golden references for
+// the declarative builder: these tests assert the builder-compiled plans
+// reproduce their results and scan statistics.
+
+// goldenPairs returns (hand-coded, builder plan) pairs covering default
+// and parameterized forms of Q1, Q6 and Q19.
+func goldenPairs(db *ch.DB) []struct {
+	name string
+	hand olap.Query
+	plan *query.Plan
+} {
+	day := ch.LoadDay
+	return []struct {
+		name string
+		hand olap.Query
+		plan *query.Plan
+	}{
+		{"Q1-default", &ch.Q1{DB: db}, ch.Q1Plan(0)},
+		{"Q1-filtered", &ch.Q1{DB: db, MinDeliveryD: int64(day + 5)}, ch.Q1Plan(int64(day + 5))},
+		{"Q6-default", &ch.Q6{DB: db}, ch.Q6Plan(0, 0, 0, 0)},
+		{"Q6-bracketed",
+			&ch.Q6{DB: db, DateLo: int64(day - 100), DateHi: int64(day + 10), QtyLo: 3, QtyHi: 7},
+			ch.Q6Plan(int64(day-100), int64(day+10), 3, 7)},
+		{"Q19-default", &ch.Q19{DB: db}, ch.Q19Plan(0, 0, 0, 0)},
+		{"Q19-bracketed",
+			&ch.Q19{DB: db, QtyLo: 2, QtyHi: 6, PriceLo: 20, PriceHi: 80},
+			ch.Q19Plan(2, 6, 20, 80)},
+	}
+}
+
+func TestBuilderPlanMetadataMatchesHandCoded(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.TinySizing(), 3)
+	for _, p := range goldenPairs(db) {
+		q, err := p.plan.Bind(db)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", p.name, err)
+		}
+		if q.Name() != p.hand.Name() {
+			t.Errorf("%s: name %q != %q", p.name, q.Name(), p.hand.Name())
+		}
+		if q.Class() != p.hand.Class() {
+			t.Errorf("%s: class %v != %v", p.name, q.Class(), p.hand.Class())
+		}
+		if q.FactTable() != p.hand.FactTable() {
+			t.Errorf("%s: fact %q != %q", p.name, q.FactTable(), p.hand.FactTable())
+		}
+		if len(q.Columns()) != len(p.hand.Columns()) {
+			t.Errorf("%s: scans %d columns, hand-coded %d", p.name, len(q.Columns()), len(p.hand.Columns()))
+		}
+	}
+}
+
+// TestBuilderGoldenSingleWorker executes each pair on a one-worker engine,
+// where morsel order is deterministic, and requires byte-identical result
+// rows: the compiled kernels must perform the same float operations in the
+// same order as the hand-coded executors.
+func TestBuilderGoldenSingleWorker(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.SizingForScale(0.003), 11)
+	tab := db.OrderLine.Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
+	}}}
+	eng := olap.NewEngine(1)
+	eng.SetPlacement(topology.Placement{PerSocket: []int{1}})
+
+	for _, p := range goldenPairs(db) {
+		built, err := p.plan.Bind(db)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", p.name, err)
+		}
+		want, wantSt, err := eng.Execute(p.hand, src)
+		if err != nil {
+			t.Fatalf("%s: hand-coded: %v", p.name, err)
+		}
+		got, gotSt, err := eng.Execute(built, src)
+		if err != nil {
+			t.Fatalf("%s: builder: %v", p.name, err)
+		}
+		if !reflect.DeepEqual(got.Cols, want.Cols) {
+			t.Errorf("%s: cols %v != %v", p.name, got.Cols, want.Cols)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("%s: rows differ\n got %v\nwant %v", p.name, got.Rows, want.Rows)
+		}
+		if !reflect.DeepEqual(gotSt, wantSt) {
+			t.Errorf("%s: stats %+v != %+v", p.name, gotSt, wantSt)
+		}
+	}
+}
+
+// TestBuilderGoldenAcrossStates runs each pair through the full system in
+// every forced state at two scale factors. Multi-worker merges make float
+// totals run-dependent in the last bits (for hand-coded and builder
+// queries alike), so cells compare under a tight relative tolerance while
+// shapes, scan statistics and states compare exactly.
+func TestBuilderGoldenAcrossStates(t *testing.T) {
+	for _, sf := range []float64{0.002, 0.005} {
+		sys, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := sys.LoadCH(sf, 42)
+		if err := sys.StartWorkload(0); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(60)
+		for _, st := range []State{S1, S2, S3IS, S3NI} {
+			for _, p := range goldenPairs(db) {
+				built, err := p.plan.Bind(db)
+				if err != nil {
+					t.Fatalf("%s: bind: %v", p.name, err)
+				}
+				want, err := sys.QueryInState(p.hand, st)
+				if err != nil {
+					t.Fatalf("sf=%v %v %s: hand-coded: %v", sf, st, p.name, err)
+				}
+				got, err := sys.QueryInState(built, st)
+				if err != nil {
+					t.Fatalf("sf=%v %v %s: builder: %v", sf, st, p.name, err)
+				}
+				if got.State != want.State {
+					t.Fatalf("sf=%v %v %s: states %v != %v", sf, st, p.name, got.State, want.State)
+				}
+				assertResultsClose(t, p.name, got.Result, want.Result)
+				if got.Stats.RowsScanned != want.Stats.RowsScanned ||
+					got.Stats.BuildBytes != want.Stats.BuildBytes ||
+					got.Stats.Workers != want.Stats.Workers ||
+					!reflect.DeepEqual(got.Stats.BytesAt, want.Stats.BytesAt) {
+					t.Errorf("sf=%v %v %s: stats %+v != %+v", sf, st, p.name, got.Stats, want.Stats)
+				}
+			}
+		}
+	}
+}
+
+func assertResultsClose(t *testing.T, name string, got, want olap.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Cols, want.Cols) {
+		t.Fatalf("%s: cols %v != %v", name, got.Cols, want.Cols)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got.Rows), len(want.Rows))
+	}
+	const relTol = 1e-9
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			g, w := got.Rows[i][j], want.Rows[i][j]
+			if g == w {
+				continue
+			}
+			if math.Abs(g-w) > relTol*math.Max(math.Abs(g), math.Abs(w)) {
+				t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, g, w)
+			}
+		}
+	}
+}
+
+// TestAdhocFilterGroupByEndToEnd runs a brand-new ad-hoc query — filter
+// plus group-by on orderline, not one of Q1/Q6/Q19 — through the adaptive
+// scheduler and cross-checks the result against a direct table scan.
+func TestAdhocFilterGroupByEndToEnd(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.LoadCH(0.005, 9)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200)
+
+	cutoff := int64(ch.LoadDay - 30)
+	q, err := sys.Build(query.Scan(ch.TOrderLine).
+		Named("wh-revenue").
+		Filter(query.Ge("ol_delivery_d", cutoff)).
+		GroupBy("ol_w_id").
+		Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("lines")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class() != ScanGroupBy {
+		t.Fatalf("inferred class %v, want ScanGroupBy", q.Class())
+	}
+	rep, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 2 must land in one of the four states and actually scan.
+	switch rep.State {
+	case S1, S2, S3IS, S3NI:
+	default:
+		t.Fatalf("scheduler state = %v", rep.State)
+	}
+	if rep.Stats.RowsScanned != db.OrderLine.Table().Rows() {
+		t.Fatalf("scanned %d rows, table has %d", rep.Stats.RowsScanned, db.OrderLine.Table().Rows())
+	}
+
+	// Reference aggregation straight off the active instance. The query
+	// ran over a snapshot taken before any concurrent activity, and Run
+	// finished before the query, so the contents agree.
+	tab := db.OrderLine.Table()
+	wantLines := map[int64]int64{}
+	for r := int64(0); r < tab.Rows(); r++ {
+		if tab.ReadActive(r, ch.OLDeliveryD) >= cutoff {
+			wantLines[tab.ReadActive(r, ch.OLWID)]++
+		}
+	}
+	if len(rep.Result.Rows) != len(wantLines) {
+		t.Fatalf("%d groups, want %d", len(rep.Result.Rows), len(wantLines))
+	}
+	for _, row := range rep.Result.Rows {
+		w, lines, revenue := int64(row[0]), int64(row[2]), row[1]
+		if wantLines[w] != lines {
+			t.Errorf("warehouse %d: %d lines, want %d", w, lines, wantLines[w])
+		}
+		if revenue <= 0 {
+			t.Errorf("warehouse %d: non-positive revenue %v", w, revenue)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	htapctl -sf 0.01 -rounds 10 -txns 500 -payment 20 -alpha 0.7 -query Q6
 //	htapctl -state S2            # pin a static state instead of adapting
+//	htapctl -query adhoc         # a builder-compiled group-by report
 package main
 
 import (
@@ -16,33 +17,35 @@ import (
 	"text/tabwriter"
 
 	"elastichtap"
+	"elastichtap/query"
 )
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.01, "CH-benCHmark scale factor")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		rounds  = flag.Int("rounds", 10, "transaction/query rounds")
-		txns    = flag.Int("txns", 500, "transactions per round")
-		payment = flag.Int("payment", 0, "Payment percentage in the mix")
-		alpha   = flag.Float64("alpha", 0.7, "ETL sensitivity α")
-		state   = flag.String("state", "", "pin a static state: S1, S2, S3-IS, S3-NI (empty = adaptive)")
-		query   = flag.String("query", "Q6", "query per round: Q1, Q6, Q19")
-		emulate = flag.Float64("emulate", 300, "report timings as if at this scale factor")
+		sf        = flag.Float64("sf", 0.01, "CH-benCHmark scale factor")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		rounds    = flag.Int("rounds", 10, "transaction/query rounds")
+		txns      = flag.Int("txns", 500, "transactions per round")
+		payment   = flag.Int("payment", 0, "Payment percentage in the mix")
+		alpha     = flag.Float64("alpha", 0.7, "ETL sensitivity α")
+		state     = flag.String("state", "", "pin a static state: S1, S2, S3-IS, S3-NI (empty = adaptive)")
+		queryName = flag.String("query", "Q6", "query per round: Q1, Q6, Q19, adhoc")
+		emulate   = flag.Float64("emulate", 300, "report timings as if at this scale factor")
 	)
 	flag.Parse()
 
-	cfg := elastichtap.DefaultConfig()
-	cfg.Alpha = *alpha
+	opts := []elastichtap.Option{elastichtap.WithAlpha(*alpha)}
 	if *emulate > 0 && *sf > 0 {
-		cfg.ByteScale = *emulate / *sf
+		opts = append(opts, elastichtap.WithEmulatedScale(*sf, *emulate))
 	}
-	sys, err := elastichtap.New(cfg)
+	sys, err := elastichtap.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	db := sys.LoadCH(*sf, *seed)
-	sys.StartWorkload(*payment)
+	if err := sys.StartWorkload(*payment); err != nil {
+		log.Fatal(err)
+	}
 
 	var forced *elastichtap.State
 	if *state != "" {
@@ -53,11 +56,23 @@ func main() {
 		forced = &st
 	}
 	pick := func() elastichtap.Query {
-		switch strings.ToUpper(*query) {
+		switch strings.ToUpper(*queryName) {
 		case "Q1":
 			return elastichtap.Q1(db)
 		case "Q19":
 			return elastichtap.Q19(db)
+		case "ADHOC":
+			// A declaratively-built report: this week's revenue by
+			// warehouse, compiled onto the generic OLAP kernels.
+			q, err := sys.Build(query.Scan("orderline").
+				Named("adhoc").
+				Filter(query.Ge("ol_delivery_d", db.Day()-7)).
+				GroupBy("ol_w_id").
+				Agg(query.Sum("ol_amount").As("revenue"), query.Count()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return q
 		default:
 			return elastichtap.Q6(db)
 		}

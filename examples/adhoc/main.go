@@ -1,8 +1,9 @@
 // Ad-hoc analytics: the paper's third workload class (§2.3) — dynamic
-// queries mixing historical and fresh data. The right state depends on how
-// much fresh data each query touches, which is only known at runtime; this
-// example contrasts the static schedules with the adaptive one on the same
-// query stream and prints the scheduler's decisions.
+// queries mixing historical and fresh data. New questions are expressed
+// declaratively with the query builder instead of hand-writing executors:
+// each plan compiles onto the generic OLAP kernels with a work class
+// inferred from its shape, so the adaptive scheduler times it correctly
+// when choosing S1/S2/S3 per query.
 package main
 
 import (
@@ -10,66 +11,68 @@ import (
 	"log"
 
 	"elastichtap"
+	"elastichtap/query"
 )
 
 func main() {
-	// One system per schedule, fed the same deterministic stream.
-	type runner struct {
-		name  string
-		sys   *elastichtap.System
-		query func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error)
+	sys, err := elastichtap.New(elastichtap.WithAlpha(0.7))
+	if err != nil {
+		log.Fatal(err)
 	}
-	mk := func(name string, static *elastichtap.State) runner {
-		sys, err := elastichtap.New(elastichtap.DefaultConfig())
+	db := sys.LoadCH(0.01, 99)
+	if err := sys.StartWorkload(10); err != nil {
+		log.Fatal(err)
+	}
+
+	// The analyst's question stream — none of these are the built-in
+	// Q1/Q6/Q19. Plans are plain values: build them once, bind per use.
+	plans := []*query.Plan{
+		// Revenue and volume by warehouse for recent deliveries
+		// (filter + group-by: a ScanGroupBy pipeline).
+		query.Scan("orderline").
+			Named("wh-revenue").
+			Filter(query.Ge("ol_delivery_d", db.Day()-30)).
+			GroupBy("ol_w_id").
+			Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("lines")),
+
+		// Largest and smallest line amounts per order-line slot for bulk
+		// orders (filter + group-by with min/max).
+		query.Scan("orderline").
+			Named("bulk-extremes").
+			Filter(query.Ge("ol_quantity", 7)).
+			GroupBy("ol_number").
+			Agg(query.Min("ol_amount").As("min_amount"), query.Max("ol_amount").As("max_amount")),
+
+		// Revenue from premium items (semi-join against the item
+		// dimension: a JoinProbe pipeline, broadcast-costed).
+		query.Scan("orderline").
+			Named("premium-items").
+			SemiJoin("item", "ol_i_id", "i_id", query.Ge("i_price", 90.0)).
+			Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("matches")),
+
+		// Average basket quantity across everything (a bare ScanReduce).
+		query.Scan("orderline").
+			Named("avg-basket").
+			Agg(query.Avg("ol_quantity").As("avg_qty"), query.Count()),
+	}
+
+	fmt.Println("round  query           class        state  method    resp(s)  rows")
+	for round := 1; round <= 8; round++ {
+		sys.Run(2000)
+		plan := plans[(round-1)%len(plans)]
+		q, err := sys.Build(plan)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys.LoadCH(0.01, 99)
-		sys.StartWorkload(10)
-		r := runner{name: name, sys: sys}
-		if static == nil {
-			r.query = func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error) {
-				return s.Query(q)
-			}
-		} else {
-			st := *static
-			r.query = func(s *elastichtap.System, q elastichtap.Query) (elastichtap.QueryReport, error) {
-				return s.QueryInState(q, st)
-			}
+		rep, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
 		}
-		return r
-	}
-	s2, s3 := elastichtap.S2, elastichtap.S3IS
-	runners := []runner{
-		mk("static-S2", &s2),
-		mk("static-S3-IS", &s3),
-		mk("adaptive", nil),
+		fmt.Printf("%5d  %-14s  %-11v  %-5v  %-8v  %.4f   %d\n",
+			round, rep.Query, plan.Class(), rep.State, rep.Method,
+			rep.ResponseSeconds, len(rep.Result.Rows))
 	}
 
-	totals := map[string]float64{}
-	for round := 1; round <= 8; round++ {
-		for i := range runners {
-			runners[i].sys.Run(3000)
-		}
-		for i := range runners {
-			r := &runners[i]
-			q := elastichtap.Q19(r.sys.DB())
-			if round%2 == 0 {
-				q = elastichtap.Q1(r.sys.DB())
-			}
-			rep, err := r.query(r.sys, q)
-			if err != nil {
-				log.Fatal(err)
-			}
-			totals[r.name] += rep.ResponseSeconds
-			if r.name == "adaptive" {
-				fmt.Printf("round %d: adaptive chose %-5v (%v) for %s, resp %.3fs\n",
-					round, rep.State, rep.Method, rep.Query, rep.ResponseSeconds)
-			}
-		}
-	}
-	fmt.Println("\ncumulative response time over the ad-hoc stream:")
-	for _, r := range runners {
-		fmt.Printf("  %-13s %.3fs\n", r.name, totals[r.name])
-	}
+	rate, _ := sys.Freshness()
+	fmt.Printf("\nfinal state %v, freshness %.4f\n", sys.CurrentState(), rate)
 }

@@ -13,12 +13,14 @@ import (
 )
 
 func main() {
-	sys, err := elastichtap.New(elastichtap.DefaultConfig())
+	sys, err := elastichtap.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	sys.LoadCH(0.01, 5)
-	sys.StartWorkload(20)
+	if err := sys.StartWorkload(20); err != nil {
+		log.Fatal(err)
+	}
 
 	// Keep the transactional engine busy in the background.
 	sys.Core().OLTPE.Workers().Start()

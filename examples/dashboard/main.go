@@ -2,6 +2,7 @@
 // rate of simple queries that must see the latest data. The scheduler
 // stays in hybrid states (split access over the freshest snapshot), never
 // paying an ETL, because each query touches only a sliver of fresh data.
+// The dashboard tiles are declarative plans compiled per refresh.
 package main
 
 import (
@@ -9,25 +10,36 @@ import (
 	"log"
 
 	"elastichtap"
-	"elastichtap/internal/ch"
+	"elastichtap/query"
 )
 
 func main() {
-	cfg := elastichtap.DefaultConfig()
-	cfg.Alpha = 0.95 // dashboards prefer freshness over ETL amortization
-	sys, err := elastichtap.New(cfg)
+	sys, err := elastichtap.New(
+		// Dashboards prefer freshness over ETL amortization.
+		elastichtap.WithAlpha(0.95),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	db := sys.LoadCH(0.01, 7)
-	sys.StartWorkload(20) // NewOrder + some Payments
+	if err := sys.StartWorkload(20); err != nil { // NewOrder + some Payments
+		log.Fatal(err)
+	}
 
 	fmt.Println("tick  state  method    resp(s)  fresh-rows  orders-today")
 	for tick := 1; tick <= 10; tick++ {
 		sys.Run(500)
 
-		// "Orders placed since this morning": Q6 restricted to today.
-		q := &ch.Q6{DB: db, DateLo: db.Day()}
+		// "Orders placed since this morning": a filter-reduce plan over
+		// the order lines delivered today, rebuilt each refresh so the
+		// date predicate tracks the database's clock.
+		q, err := sys.Build(query.Scan("orderline").
+			Named("today").
+			Filter(query.Ge("ol_delivery_d", db.Day())).
+			Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("orders")))
+		if err != nil {
+			log.Fatal(err)
+		}
 		rep, err := sys.Query(q)
 		if err != nil {
 			log.Fatal(err)

@@ -10,14 +10,14 @@ import (
 )
 
 func main() {
-	cfg := elastichtap.DefaultConfig()
-	// Report simulated timings as if the database were at the paper's SF
-	// 300 (we load SF 0.01 below; shapes depend on ratios, see DESIGN.md).
-	cfg.ByteScale = 300 / 0.01
-	// With whole-row freshness accounting the ratio lives in ~[0.5, 0.9];
-	// 0.7 makes the adaptive arc visible within a few rounds.
-	cfg.Alpha = 0.7
-	sys, err := elastichtap.New(cfg)
+	sys, err := elastichtap.New(
+		// Report simulated timings as if the database were at the paper's
+		// SF 300 (we load SF 0.01 below; shapes depend on ratios).
+		elastichtap.WithEmulatedScale(0.01, 300),
+		// With whole-row freshness accounting the ratio lives in
+		// ~[0.5, 0.9]; 0.7 makes the adaptive arc visible quickly.
+		elastichtap.WithAlpha(0.7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +29,9 @@ func main() {
 		db.OrderLine.Table().Rows(), db.Item.Table().Rows(), db.Sizing.Warehouses)
 
 	// TPC-C NewOrder only, one warehouse per worker (the paper's setup).
-	sys.StartWorkload(0)
+	if err := sys.StartWorkload(0); err != nil {
+		log.Fatal(err)
+	}
 
 	// Interleave transactions and analytics; watch the scheduler adapt:
 	// hybrid states while the delta is small, one ETL (S2) once the fresh

@@ -12,12 +12,14 @@ import (
 )
 
 func main() {
-	sys, err := elastichtap.New(elastichtap.DefaultConfig())
+	sys, err := elastichtap.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	db := sys.LoadCH(0.01, 21)
-	sys.StartWorkload(0)
+	if err := sys.StartWorkload(0); err != nil {
+		log.Fatal(err)
+	}
 
 	for period := 1; period <= 3; period++ {
 		// Transactions accumulate between reporting periods.

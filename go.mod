@@ -1,0 +1,3 @@
+module elastichtap
+
+go 1.24

@@ -16,17 +16,39 @@
 // the system between states S1 (co-located), S2 (isolated + ETL), S3-IS
 // (hybrid isolated) and S3-NI (hybrid non-isolated) per query.
 //
-// Quickstart:
+// Systems are configured with functional options, which distinguish unset
+// knobs from explicit zeros (WithAlpha(0) really means α=0):
 //
-//	sys, _ := elastichtap.New(elastichtap.DefaultConfig())
+//	sys, _ := elastichtap.New(
+//		elastichtap.WithAlpha(0.7),
+//		elastichtap.WithByteScale(300/0.01),
+//	)
 //	db := sys.LoadCH(0.01, 42)          // CH-benCHmark at SF 0.01
 //	sys.StartWorkload(0)                // NewOrder-only mix
 //	sys.Run(1000)                       // execute 1000 transactions
 //	rep, _ := sys.Query(elastichtap.Q6(db))
 //	fmt.Println(rep.State, rep.ResponseSeconds, rep.Result.Rows)
+//
+// Analytical queries beyond the built-in CH-benCHmark trio are expressed
+// declaratively with the query builder (package elastichtap/query): a
+// logical plan — scan, filter, semi-join, group-by, aggregate — compiles
+// onto the OLAP engine's generic kernels and flows through the adaptive
+// scheduler with a work class inferred from the plan shape:
+//
+//	plan := query.Scan("orderline").
+//		Filter(query.Ge("ol_delivery_d", db.Day())).
+//		GroupBy("ol_w_id").
+//		Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+//	q, _ := sys.Build(plan)
+//	rep, _ = sys.Query(q)
+//
+// The built-in Q1, Q6 and Q19 are themselves builder-compiled; the
+// original hand-coded executors remain in internal/ch as golden references
+// for the compiler's correctness tests.
 package elastichtap
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -40,10 +62,193 @@ import (
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
+	"elastichtap/query"
 )
 
-// Config configures a System. Zero value is unusable; start from
-// DefaultConfig and override.
+// ErrNoDatabase is returned by workload and query entry points invoked
+// before LoadCH.
+var ErrNoDatabase = errors.New("elastichtap: no database loaded; call LoadCH first")
+
+// options collects the functional-option settings. Pointer fields
+// distinguish "unset" (keep the default) from an explicit zero.
+type options struct {
+	sockets, coresPerSocket *int
+	localBW, interconnectBW *float64
+	alpha                   *float64
+	elasticity              *bool
+	preferColocation        *bool
+	elasticCores            *int
+	byteScale               *float64
+	splitAccess             *bool
+}
+
+// Option configures a System under construction. Options validate in New;
+// an invalid value (α outside [0,1], non-positive core counts) fails New
+// with a descriptive error instead of being silently ignored.
+type Option func(*options)
+
+// WithTopology sets the modeled machine: socket count and cores per
+// socket. The default is the paper's 2x14-core server.
+func WithTopology(sockets, coresPerSocket int) Option {
+	return func(o *options) { o.sockets, o.coresPerSocket = &sockets, &coresPerSocket }
+}
+
+// WithBandwidth sets the modeled local DRAM and cross-socket interconnect
+// bandwidths in bytes per second.
+func WithBandwidth(localBW, interconnectBW float64) Option {
+	return func(o *options) { o.localBW, o.interconnectBW = &localBW, &interconnectBW }
+}
+
+// WithAlpha sets the scheduler's ETL sensitivity α ∈ [0,1] (§4.2). Smaller
+// values ETL more eagerly; 0 means every fresh byte triggers S2.
+func WithAlpha(a float64) Option {
+	return func(o *options) { o.alpha = &a }
+}
+
+// WithElasticity enables or disables compute exchange between the engines
+// (Algorithm 2's Fel flag). Enabled by default.
+func WithElasticity(on bool) Option {
+	return func(o *options) { o.elasticity = &on }
+}
+
+// WithColocationPreference selects S1 over S3-NI when elasticity is
+// available (Algorithm 2's Mel knob). Off by default (prefer S3-NI).
+func WithColocationPreference(on bool) Option {
+	return func(o *options) { o.preferColocation = &on }
+}
+
+// WithElasticCores bounds how many cores migrations move between engines.
+func WithElasticCores(n int) Option {
+	return func(o *options) { o.elasticCores = &n }
+}
+
+// WithByteScale multiplies measured bytes before the cost model, letting a
+// small loaded database emulate a larger scale factor's timings (shapes
+// depend on ratios, which the scale preserves).
+func WithByteScale(x float64) Option {
+	return func(o *options) { o.byteScale = &x }
+}
+
+// WithEmulatedScale is WithByteScale expressed as intent: report timings
+// as if the loaded scale factor were target (e.g. the paper's SF 300).
+func WithEmulatedScale(loadedSF, targetSF float64) Option {
+	return func(o *options) {
+		x := 0.0
+		if loadedSF > 0 {
+			x = targetSF / loadedSF
+		}
+		o.byteScale = &x
+	}
+}
+
+// WithSplitAccess toggles the split access-path optimization in hybrid
+// states for insert-only fact tables (§5.2). Enabled by default.
+func WithSplitAccess(on bool) Option {
+	return func(o *options) { o.splitAccess = &on }
+}
+
+// State re-exports the scheduler states for report inspection.
+type State = core.State
+
+// The four system states (§3.4).
+const (
+	S1   = core.S1
+	S2   = core.S2
+	S3IS = core.S3IS
+	S3NI = core.S3NI
+)
+
+// QueryReport re-exports the per-query scheduling outcome.
+type QueryReport = core.QueryReport
+
+// Query is any analytical query the OLAP engine can execute.
+type Query = olap.Query
+
+// Plan re-exports the declarative builder's logical plan; construct with
+// package elastichtap/query and compile with System.Build.
+type Plan = query.Plan
+
+// DB is a loaded CH-benCHmark database.
+type DB = ch.DB
+
+// System is the assembled HTAP system.
+type System struct {
+	inner *core.System
+	db    *ch.DB
+}
+
+// New builds a system, starting from the paper's evaluation setup (a
+// 2x14-core server, α=0.5, hybrid elasticity with 4 elastic cores) and
+// applying the options. Invalid option values fail with an error.
+func New(opts ...Option) (*System, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	sysCfg := core.DefaultSystemConfig()
+	if o.sockets != nil {
+		if *o.sockets < 1 {
+			return nil, fmt.Errorf("elastichtap: WithTopology sockets %d, need >= 1", *o.sockets)
+		}
+		sysCfg.Topology.Sockets = *o.sockets
+	}
+	if o.coresPerSocket != nil {
+		if *o.coresPerSocket < 1 {
+			return nil, fmt.Errorf("elastichtap: WithTopology cores per socket %d, need >= 1", *o.coresPerSocket)
+		}
+		sysCfg.Topology.CoresPerSocket = *o.coresPerSocket
+	}
+	if o.localBW != nil {
+		if *o.localBW <= 0 || *o.interconnectBW <= 0 {
+			return nil, fmt.Errorf("elastichtap: WithBandwidth needs positive bandwidths, got %v and %v",
+				*o.localBW, *o.interconnectBW)
+		}
+		sysCfg.Topology.LocalBW = *o.localBW
+		sysCfg.Topology.InterconnectBW = *o.interconnectBW
+	}
+	// Scheduler defaults derive from the (possibly overridden) topology.
+	sysCfg.Scheduler = core.DefaultConfig(sysCfg.Topology.Sockets, sysCfg.Topology.CoresPerSocket)
+	if o.alpha != nil {
+		if *o.alpha < 0 || *o.alpha > 1 {
+			return nil, fmt.Errorf("elastichtap: WithAlpha %v outside [0,1]", *o.alpha)
+		}
+		sysCfg.Scheduler.Alpha = *o.alpha
+	}
+	if o.elasticity != nil {
+		sysCfg.Scheduler.Elasticity = *o.elasticity
+	}
+	if o.preferColocation != nil && *o.preferColocation {
+		sysCfg.Scheduler.Mode = core.ModeColocation
+	}
+	if o.elasticCores != nil {
+		if *o.elasticCores < 0 {
+			return nil, fmt.Errorf("elastichtap: WithElasticCores %d, need >= 0", *o.elasticCores)
+		}
+		sysCfg.Scheduler.ElasticCores = *o.elasticCores
+	}
+	if o.splitAccess != nil {
+		sysCfg.Scheduler.SplitAccess = *o.splitAccess
+	}
+	if o.byteScale != nil {
+		if *o.byteScale <= 0 {
+			return nil, fmt.Errorf("elastichtap: byte scale %v, need > 0", *o.byteScale)
+		}
+		sysCfg.ByteScale = *o.byteScale
+	}
+
+	inner, err := core.NewSystem(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Config configures a System for NewFromConfig.
+//
+// Deprecated: Config cannot distinguish unset fields from explicit zeros
+// (Alpha=0 and ByteScale=0 are silently ignored). Use New with functional
+// options instead.
 type Config struct {
 	// Sockets and CoresPerSocket describe the modeled machine.
 	Sockets, CoresPerSocket int
@@ -64,6 +269,9 @@ type Config struct {
 
 // DefaultConfig mirrors the paper's evaluation setup: a 2x14-core server,
 // α=0.5, hybrid elasticity with 4 elastic cores.
+//
+// Deprecated: use New with functional options; New() with no options is
+// this setup.
 func DefaultConfig() Config {
 	topo := topology.DefaultConfig()
 	sched := core.DefaultConfig(topo.Sockets, topo.CoresPerSocket)
@@ -79,66 +287,48 @@ func DefaultConfig() Config {
 	}
 }
 
-// State re-exports the scheduler states for report inspection.
-type State = core.State
-
-// The four system states (§3.4).
-const (
-	S1   = core.S1
-	S2   = core.S2
-	S3IS = core.S3IS
-	S3NI = core.S3NI
-)
-
-// QueryReport re-exports the per-query scheduling outcome.
-type QueryReport = core.QueryReport
-
-// Query is any analytical query the OLAP engine can execute.
-type Query = olap.Query
-
-// DB is a loaded CH-benCHmark database.
-type DB = ch.DB
-
-// System is the assembled HTAP system.
-type System struct {
-	inner *core.System
-	db    *ch.DB
-}
-
-// New builds a system from the configuration.
-func New(cfg Config) (*System, error) {
-	sysCfg := core.DefaultSystemConfig()
-	if cfg.Sockets > 0 {
-		sysCfg.Topology.Sockets = cfg.Sockets
+// NewFromConfig builds a system from a legacy Config, preserving the old
+// semantics exactly: zero-valued fields fall back to defaults, each field
+// independently (half-set pairs keep the default for the other half).
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*System, error) {
+	def := topology.DefaultConfig()
+	var opts []Option
+	if cfg.Sockets > 0 || cfg.CoresPerSocket > 0 {
+		sockets, cores := cfg.Sockets, cfg.CoresPerSocket
+		if sockets <= 0 {
+			sockets = def.Sockets
+		}
+		if cores <= 0 {
+			cores = def.CoresPerSocket
+		}
+		opts = append(opts, WithTopology(sockets, cores))
 	}
-	if cfg.CoresPerSocket > 0 {
-		sysCfg.Topology.CoresPerSocket = cfg.CoresPerSocket
+	if cfg.LocalBW > 0 || cfg.InterconnectBW > 0 {
+		local, inter := cfg.LocalBW, cfg.InterconnectBW
+		if local <= 0 {
+			local = def.LocalBW
+		}
+		if inter <= 0 {
+			inter = def.InterconnectBW
+		}
+		opts = append(opts, WithBandwidth(local, inter))
 	}
-	if cfg.LocalBW > 0 {
-		sysCfg.Topology.LocalBW = cfg.LocalBW
-	}
-	if cfg.InterconnectBW > 0 {
-		sysCfg.Topology.InterconnectBW = cfg.InterconnectBW
-	}
-	sysCfg.Scheduler = core.DefaultConfig(sysCfg.Topology.Sockets, sysCfg.Topology.CoresPerSocket)
 	if cfg.Alpha > 0 {
-		sysCfg.Scheduler.Alpha = cfg.Alpha
+		opts = append(opts, WithAlpha(cfg.Alpha))
 	}
-	sysCfg.Scheduler.Elasticity = cfg.Elasticity
+	opts = append(opts, WithElasticity(cfg.Elasticity))
 	if cfg.PreferColocation {
-		sysCfg.Scheduler.Mode = core.ModeColocation
+		opts = append(opts, WithColocationPreference(true))
 	}
 	if cfg.ElasticCores > 0 {
-		sysCfg.Scheduler.ElasticCores = cfg.ElasticCores
+		opts = append(opts, WithElasticCores(cfg.ElasticCores))
 	}
 	if cfg.ByteScale > 0 {
-		sysCfg.ByteScale = cfg.ByteScale
+		opts = append(opts, WithByteScale(cfg.ByteScale))
 	}
-	inner, err := core.NewSystem(sysCfg)
-	if err != nil {
-		return nil, err
-	}
-	return &System{inner: inner}, nil
+	return New(opts...)
 }
 
 // Core exposes the underlying system for advanced use (experiments,
@@ -158,18 +348,36 @@ func (s *System) LoadCH(scaleFactor float64, seed int64) *DB {
 func (s *System) DB() *DB { return s.db }
 
 // StartWorkload installs the TPC-C transaction mix: paymentPct percent
-// Payment, the rest NewOrder, one warehouse per worker (§5.1).
-func (s *System) StartWorkload(paymentPct int) {
+// Payment, the rest NewOrder, one warehouse per worker (§5.1). It fails
+// with ErrNoDatabase before LoadCH.
+func (s *System) StartWorkload(paymentPct int) error {
+	if s.db == nil {
+		return fmt.Errorf("elastichtap: StartWorkload: %w", ErrNoDatabase)
+	}
 	s.inner.OLTPE.Workers().SetWorkload(ch.NewMix(s.db, paymentPct, 1))
+	return nil
 }
 
 // Run synchronously executes n transactions across the OLTP worker pool.
 func (s *System) Run(n int) { s.inner.InjectTransactions(n) }
 
+// Build compiles a logical plan (package elastichtap/query) against the
+// loaded database into an executable Query.
+func (s *System) Build(p *Plan) (Query, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("elastichtap: Build: %w", ErrNoDatabase)
+	}
+	return p.Bind(s.db)
+}
+
 // Query schedules and executes an analytical query adaptively: the
 // scheduler measures freshness, picks a state (Algorithm 2), migrates
-// resources (Algorithm 1), optionally ETLs, and executes.
+// resources (Algorithm 1), optionally ETLs, and executes. It fails with
+// ErrNoDatabase before LoadCH.
 func (s *System) Query(q Query) (QueryReport, error) {
+	if s.db == nil {
+		return QueryReport{}, fmt.Errorf("elastichtap: Query: %w", ErrNoDatabase)
+	}
 	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{}, nil)
 	return rep, err
 }
@@ -177,6 +385,9 @@ func (s *System) Query(q Query) (QueryReport, error) {
 // QueryInState executes the query with the system pinned to a state
 // (static schedules, A/B comparisons).
 func (s *System) QueryInState(q Query, st State) (QueryReport, error) {
+	if s.db == nil {
+		return QueryReport{}, fmt.Errorf("elastichtap: QueryInState: %w", ErrNoDatabase)
+	}
 	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{ForceState: core.ForcedState(st)}, nil)
 	return rep, err
 }
@@ -184,6 +395,9 @@ func (s *System) QueryInState(q Query, st State) (QueryReport, error) {
 // QueryBatch executes a batch of queries over one shared snapshot with a
 // single ETL (the paper's query-batch class, §2.3/§4.2).
 func (s *System) QueryBatch(qs []Query) ([]QueryReport, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("elastichtap: QueryBatch: %w", ErrNoDatabase)
+	}
 	var out []QueryReport
 	var set *rde.SnapshotSet
 	for _, q := range qs {
@@ -216,9 +430,24 @@ func (s *System) Freshness() (rate float64, freshBytes int64) {
 }
 
 // Q1, Q6 and Q19 build the paper's evaluation queries over a database.
-func Q1(db *DB) Query  { return &ch.Q1{DB: db} }
-func Q6(db *DB) Query  { return &ch.Q6{DB: db} }
-func Q19(db *DB) Query { return &ch.Q19{DB: db} }
+// Each is compiled from its logical plan (internal/ch builder plans); a
+// nil db yields a query that fails with a descriptive error when run.
+func Q1(db *DB) Query  { return compilePlan(ch.Q1Plan(0), db) }
+func Q6(db *DB) Query  { return compilePlan(ch.Q6Plan(0, 0, 0, 0), db) }
+func Q19(db *DB) Query { return compilePlan(ch.Q19Plan(0, 0, 0, 0), db) }
+
+// compilePlan binds a plan, deferring bind errors into the returned query
+// so constructor-style call sites stay one-liners.
+func compilePlan(p *Plan, db *DB) Query {
+	if db == nil {
+		return olap.Invalid{QueryName: p.Name(), Reason: fmt.Errorf("elastichtap: %s: %w", p.Name(), ErrNoDatabase)}
+	}
+	q, err := p.Bind(db)
+	if err != nil {
+		return olap.Invalid{QueryName: p.Name(), Reason: err}
+	}
+	return q
+}
 
 // WorkClasses re-exported for custom queries.
 type WorkClass = costmodel.WorkClass

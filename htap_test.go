@@ -1,18 +1,21 @@
 package elastichtap
 
 import (
+	"errors"
+	"strings"
 	"testing"
 )
 
 func newSystem(t *testing.T) (*System, *DB) {
 	t.Helper()
-	cfg := DefaultConfig()
-	sys, err := New(cfg)
+	sys, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := sys.LoadCH(0.005, 1)
-	sys.StartWorkload(0)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
 	return sys, db
 }
 
@@ -92,18 +95,20 @@ func TestFacadeQueryBatch(t *testing.T) {
 	}
 }
 
-func TestFacadeConfigKnobs(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Alpha = 0.9
-	cfg.Elasticity = false
-	cfg.ElasticCores = 2
-	cfg.ByteScale = 1000
-	sys, err := New(cfg)
+func TestFacadeOptionKnobs(t *testing.T) {
+	sys, err := New(
+		WithAlpha(0.9),
+		WithElasticity(false),
+		WithElasticCores(2),
+		WithByteScale(1000),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := sys.LoadCH(0.005, 2)
-	sys.StartWorkload(0)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
 	sys.Run(30)
 	rep, err := sys.Query(Q6(db))
 	if err != nil {
@@ -114,15 +119,14 @@ func TestFacadeConfigKnobs(t *testing.T) {
 		t.Fatalf("state = %v, want S3-IS (or S2 past threshold)", rep.State)
 	}
 
-	cfg = DefaultConfig()
-	cfg.PreferColocation = true
-	cfg.Alpha = 0.95
-	sys2, err := New(cfg)
+	sys2, err := New(WithColocationPreference(true), WithAlpha(0.95))
 	if err != nil {
 		t.Fatal(err)
 	}
 	db2 := sys2.LoadCH(0.005, 2)
-	sys2.StartWorkload(0)
+	if err := sys2.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
 	sys2.Run(30)
 	rep2, err := sys2.Query(Q6(db2))
 	if err != nil {
@@ -130,6 +134,121 @@ func TestFacadeConfigKnobs(t *testing.T) {
 	}
 	if rep2.State != S1 {
 		t.Fatalf("co-location mode state = %v, want S1", rep2.State)
+	}
+}
+
+func TestFacadeAlphaZeroIsHonored(t *testing.T) {
+	// The legacy Config API silently dropped Alpha=0; the options API must
+	// honor it: with α=0 every non-batch query with any fresh data ETLs.
+	sys, err := New(WithAlpha(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Core().Sched.Config().Alpha; got != 0 {
+		t.Fatalf("WithAlpha(0) configured α=%v", got)
+	}
+	db := sys.LoadCH(0.005, 3)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100)
+	rep, err := sys.Query(Q6(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != S2 {
+		t.Fatalf("alpha=0 state = %v, want S2 (eager ETL)", rep.State)
+	}
+}
+
+func TestFacadeOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+		want string
+	}{
+		{"alpha-high", WithAlpha(1.5), "WithAlpha"},
+		{"alpha-negative", WithAlpha(-0.1), "WithAlpha"},
+		{"topology", WithTopology(0, 14), "WithTopology"},
+		{"bandwidth", WithBandwidth(-1, 1), "WithBandwidth"},
+		{"elastic-cores", WithElasticCores(-1), "WithElasticCores"},
+		{"byte-scale", WithByteScale(0), "byte scale"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFacadeNewFromConfigShim(t *testing.T) {
+	// Legacy zero-ignoring semantics: zero Alpha and ByteScale fall back
+	// to the defaults instead of being applied literally.
+	cfg := DefaultConfig()
+	cfg.Alpha = 0
+	cfg.ByteScale = 0
+	cfg.ElasticCores = 2
+	sys, err := NewFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sys.Core().Sched.Config()
+	if sc.Alpha != 0.5 {
+		t.Fatalf("shim applied zero Alpha literally: α=%v", sc.Alpha)
+	}
+	if sc.ElasticCores != 2 {
+		t.Fatalf("shim dropped ElasticCores: %d", sc.ElasticCores)
+	}
+	if bs := sys.Core().Cfg.ByteScale; bs != 1 {
+		t.Fatalf("shim applied zero ByteScale literally: %v", bs)
+	}
+	// Half-set pairs override independently, like the old New did.
+	sys3, err := NewFromConfig(Config{Sockets: 4, Elasticity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := sys3.Core().Cfg.Topology
+	if topo.Sockets != 4 {
+		t.Fatalf("shim dropped Sockets override: %+v", topo)
+	}
+	if topo.CoresPerSocket != DefaultConfig().CoresPerSocket {
+		t.Fatalf("shim lost default CoresPerSocket: %+v", topo)
+	}
+	db := sys.LoadCH(0.005, 3)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(Q6(db)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeNoDatabaseErrors(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartWorkload(0); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("StartWorkload before LoadCH: err = %v", err)
+	}
+	if _, err := sys.Query(Q6(nil)); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("Query before LoadCH: err = %v", err)
+	}
+	if _, err := sys.QueryInState(Q1(nil), S2); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("QueryInState before LoadCH: err = %v", err)
+	}
+	if _, err := sys.QueryBatch([]Query{Q19(nil)}); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("QueryBatch before LoadCH: err = %v", err)
+	}
+	if _, err := sys.Build(nil); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("Build before LoadCH: err = %v", err)
+	}
+
+	// A query built from a nil DB must fail descriptively even on a loaded
+	// system (the deferred-error path through olap.Invalid).
+	sys.LoadCH(0.005, 1)
+	if _, err := sys.Query(Q6(nil)); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("Query with nil-DB query: err = %v", err)
 	}
 }
 

@@ -1,0 +1,71 @@
+package ch
+
+import "elastichtap/query"
+
+// This file re-expresses the paper's evaluation queries as logical plans
+// for the declarative builder. The hand-coded executors in queries.go are
+// kept as golden references: builder_golden_test.go (package elastichtap)
+// asserts the compiled plans reproduce their results and statistics
+// exactly.
+
+// Q1Plan is CH-Q1 as a logical plan: scan-filter-groupby over OrderLine
+// grouping by ol_number. minDeliveryD mirrors Q1.MinDeliveryD (rows with
+// ol_delivery_d > minDeliveryD qualify; 0 keeps everything).
+func Q1Plan(minDeliveryD int64) *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q1").
+		Filter(query.Gt("ol_delivery_d", minDeliveryD)).
+		GroupBy("ol_number").
+		Agg(
+			query.Sum("ol_quantity").As("sum_qty"),
+			query.Sum("ol_amount").As("sum_amount"),
+			query.Avg("ol_quantity").As("avg_qty"),
+			query.Avg("ol_amount").As("avg_amount"),
+			query.Count().As("count_order"),
+		)
+}
+
+// Q6Plan is CH-Q6 as a logical plan: scan-filter-reduce over OrderLine
+// within delivery-date and quantity brackets. Zero values default exactly
+// like Q6: dateHi=0 selects everything, qtyHi=0 selects qty in [1,100000].
+func Q6Plan(dateLo, dateHi, qtyLo, qtyHi int64) *query.Plan {
+	if dateHi == 0 {
+		dateHi = 1 << 62
+	}
+	if qtyHi == 0 {
+		qtyLo, qtyHi = 1, 100000
+	}
+	return query.Scan(TOrderLine).
+		Named("Q6").
+		Filter(
+			query.Ge("ol_delivery_d", dateLo),
+			query.Lt("ol_delivery_d", dateHi),
+			query.Between("ol_quantity", qtyLo, qtyHi),
+		).
+		Agg(
+			query.Sum("ol_amount").As("revenue"),
+			query.Count().As("count"),
+		)
+}
+
+// Q19Plan is CH-Q19 (LIKE removed, §5.3) as a logical plan: OrderLine
+// semi-joined with Item under price and quantity brackets, summing
+// revenue. Zero values default exactly like Q19: qty in [1,10], price in
+// [1,100].
+func Q19Plan(qtyLo, qtyHi int64, priceLo, priceHi float64) *query.Plan {
+	if qtyHi == 0 {
+		qtyLo, qtyHi = 1, 10
+	}
+	if priceHi == 0 {
+		priceLo, priceHi = 1, 100
+	}
+	return query.Scan(TOrderLine).
+		Named("Q19").
+		Filter(query.Between("ol_quantity", qtyLo, qtyHi)).
+		SemiJoin(TItem, "ol_i_id", "i_id",
+			query.Between("i_price", priceLo, priceHi)).
+		Agg(
+			query.Sum("ol_amount").As("revenue"),
+			query.Count().As("matches"),
+		)
+}

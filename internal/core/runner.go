@@ -168,6 +168,16 @@ type QueryReport struct {
 // 1+2), optionally ETL, build the access path, execute for real, and
 // charge simulated time for every phase.
 func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
+	if q == nil {
+		return QueryReport{}, snap, fmt.Errorf("core: nil query")
+	}
+	// Queries can carry a deferred construction error (olap.Invalid, or any
+	// query exposing Err); surface it before touching the system.
+	if v, ok := q.(interface{ Err() error }); ok {
+		if err := v.Err(); err != nil {
+			return QueryReport{}, snap, err
+		}
+	}
 	tables := s.OLTPE.Tables()
 
 	set := snap

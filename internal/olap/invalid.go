@@ -1,0 +1,32 @@
+package olap
+
+import "elastichtap/internal/costmodel"
+
+// Invalid is a Query placeholder carrying a construction error. Facades
+// whose query constructors cannot return an error (Q1(db) and friends)
+// hand it to the runner, which surfaces the error instead of executing.
+// The runner recognizes it through the Err method, so any query type may
+// opt into the same pre-flight check.
+type Invalid struct {
+	QueryName string
+	Reason    error
+}
+
+// Name implements Query.
+func (q Invalid) Name() string { return q.QueryName }
+
+// Class implements Query.
+func (q Invalid) Class() costmodel.WorkClass { return costmodel.ScanReduce }
+
+// FactTable implements Query.
+func (q Invalid) FactTable() string { return "" }
+
+// Columns implements Query.
+func (q Invalid) Columns() []int { return nil }
+
+// Prepare implements Query; it is never reached because the runner checks
+// Err first.
+func (q Invalid) Prepare() (Exec, int64) { return nil, 0 }
+
+// Err reports why the query is unusable.
+func (q Invalid) Err() error { return q.Reason }

@@ -1,0 +1,899 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+)
+
+// Catalog resolves table names to storage handles. *ch.DB (re-exported as
+// elastichtap.DB) satisfies it.
+type Catalog interface {
+	Handle(name string) *oltp.TableHandle
+}
+
+// fkind selects a filter evaluation strategy. Ordered predicates compile
+// to canonical inclusive ranges (Gt v becomes [v+1, max] for integers and
+// [nextafter(v), +inf] for floats), so block filtering runs as tight
+// range loops with no per-row calls.
+type fkind int8
+
+const (
+	fIntRange fkind = iota // also string dictionary codes
+	fIntNe
+	fFloatRange
+	fFloatNe
+	fNever // statically unsatisfiable
+)
+
+// ftest is a compiled predicate test over raw column words.
+type ftest struct {
+	kind     fkind
+	ilo, ihi int64
+	flo, fhi float64
+}
+
+// match evaluates the test row-at-a-time (dimension builds; the fact-side
+// block path uses the vectorized loops in filterAll/filterSel instead).
+func (t *ftest) match(w int64) bool {
+	switch t.kind {
+	case fIntRange:
+		return w >= t.ilo && w <= t.ihi
+	case fIntNe:
+		return w != t.ilo
+	case fFloatRange:
+		d := columnar.DecodeFloat(w)
+		return d >= t.flo && d <= t.fhi
+	case fFloatNe:
+		return columnar.DecodeFloat(w) != t.flo
+	default:
+		return false
+	}
+}
+
+// filter is a compiled predicate over one scanned column slot.
+type filter struct {
+	slot int
+	ftest
+}
+
+// dimFilter is a compiled predicate over a dimension table's physical
+// column (evaluated row-at-a-time during build).
+type dimFilter struct {
+	col int
+	ftest
+}
+
+// aggPlan is one compiled aggregate: its kind, the scanned column slot it
+// reads (-1 for Count) and whether the raw word needs IEEE decoding.
+type aggPlan struct {
+	kind   aggKind
+	slot   int
+	decode bool
+}
+
+// semiPlan is a compiled semi-join: where to probe on the fact side and how
+// to build the key set from the dimension.
+type semiPlan struct {
+	dim       *oltp.TableHandle
+	probeSlot int
+	keyCol    int
+	preds     []dimFilter
+	// words is the per-row broadcast width in 8-byte words (key plus each
+	// distinct predicate column), charged to the cost model as build bytes.
+	words int
+}
+
+// Compiled is a bound, executable plan. It implements olap.Query, so it
+// runs through the engine and the adaptive scheduler exactly like the
+// hand-written workload queries.
+type Compiled struct {
+	name    string
+	class   costmodel.WorkClass
+	fact    string
+	cols    []int
+	filters []filter
+	semi    *semiPlan
+	groups  []int // slots of the group-key columns
+	aggs    []aggPlan
+	outCols []string
+}
+
+// Name implements olap.Query.
+func (c *Compiled) Name() string { return c.name }
+
+// Class implements olap.Query.
+func (c *Compiled) Class() costmodel.WorkClass { return c.class }
+
+// FactTable implements olap.Query.
+func (c *Compiled) FactTable() string { return c.fact }
+
+// Columns implements olap.Query.
+func (c *Compiled) Columns() []int { return c.cols }
+
+// Prepare implements olap.Query: it builds the semi-join key set from the
+// dimension's active instance (dimensions are static under the
+// transactional workload) and reports its broadcast volume.
+func (c *Compiled) Prepare() (olap.Exec, int64) {
+	e := &exec{c: c}
+	var buildBytes int64
+	if c.semi != nil {
+		dt := c.semi.dim.Table()
+		rows := dt.Rows()
+		e.build = make(map[int64]struct{}, rows)
+	dim:
+		for r := int64(0); r < rows; r++ {
+			for i := range c.semi.preds {
+				f := &c.semi.preds[i]
+				if !f.match(dt.ReadActive(r, f.col)) {
+					continue dim
+				}
+			}
+			e.build[dt.ReadActive(r, c.semi.keyCol)] = struct{}{}
+		}
+		buildBytes = rows * int64(c.semi.words) * columnar.WordBytes
+	}
+	return e, buildBytes
+}
+
+// Bind compiles the plan against a catalog: table and column names resolve
+// to physical indexes, predicates specialize to the column types, and the
+// work class is fixed from the plan shape. The returned query is reusable
+// across executions; the semi-join build side is re-read at each Prepare.
+func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
+	if p == nil {
+		return nil, fmt.Errorf("query: nil plan")
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if isNilCatalog(cat) {
+		return nil, fmt.Errorf("query: nil catalog binding %q (no database loaded?)", p.Name())
+	}
+	h := cat.Handle(p.table)
+	if h == nil {
+		return nil, fmt.Errorf("query: unknown table %q", p.table)
+	}
+	tab := h.Table()
+	schema := tab.Schema()
+	if len(p.aggs) == 0 {
+		return nil, fmt.Errorf("query: plan %q has no aggregates; add Agg(query.Count()) at minimum", p.Name())
+	}
+
+	// Assemble the scan list: explicit projection order, or reference
+	// order (filters, probe key, group keys, aggregate inputs).
+	var refs []string
+	seen := map[string]bool{}
+	addRef := func(col string) {
+		if col != "" && !seen[col] {
+			seen[col] = true
+			refs = append(refs, col)
+		}
+	}
+	for _, pr := range p.preds {
+		addRef(pr.col)
+	}
+	if p.semi != nil {
+		addRef(p.semi.factKey)
+	}
+	for _, g := range p.groups {
+		addRef(g)
+	}
+	for _, a := range p.aggs {
+		addRef(a.col)
+	}
+	scan := p.scanCols
+	if len(scan) == 0 {
+		scan = refs
+	} else {
+		listed := map[string]bool{}
+		for _, c := range scan {
+			listed[c] = true
+		}
+		for _, r := range refs {
+			if !listed[r] {
+				return nil, fmt.Errorf("query: plan %q references column %q missing from Scan's projection", p.Name(), r)
+			}
+		}
+	}
+	if len(scan) == 0 {
+		return nil, fmt.Errorf("query: plan %q scans no columns", p.Name())
+	}
+
+	c := &Compiled{
+		name:  p.Name(),
+		class: p.Class(),
+		fact:  p.table,
+		cols:  make([]int, len(scan)),
+	}
+	slots := map[string]int{}
+	for i, name := range scan {
+		idx := schema.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("query: table %q has no column %q", p.table, name)
+		}
+		c.cols[i] = idx
+		slots[name] = i
+	}
+
+	for _, pr := range p.preds {
+		test, err := compileTest(tab, schema, pr)
+		if err != nil {
+			return nil, err
+		}
+		c.filters = append(c.filters, filter{slot: slots[pr.col], ftest: test})
+	}
+
+	if p.semi != nil {
+		sp, err := compileSemi(cat, p, slots)
+		if err != nil {
+			return nil, err
+		}
+		c.semi = sp
+	}
+
+	for _, g := range p.groups {
+		idx, ok := slots[g]
+		if !ok {
+			return nil, fmt.Errorf("query: group column %q missing from the scan list", g)
+		}
+		if schema.Columns[c.cols[idx]].Type != columnar.Int64 {
+			return nil, fmt.Errorf("query: group column %q is %v; only int64 keys are supported", g, schema.Columns[c.cols[idx]].Type)
+		}
+		c.groups = append(c.groups, idx)
+	}
+
+	for _, g := range p.groups {
+		c.outCols = append(c.outCols, g)
+	}
+	for _, a := range p.aggs {
+		ap := aggPlan{kind: a.kind, slot: -1}
+		if a.kind != aggCount {
+			slot, ok := slots[a.col]
+			if !ok {
+				return nil, fmt.Errorf("query: aggregate %v over unknown column %q", a.kind, a.col)
+			}
+			switch schema.Columns[c.cols[slot]].Type {
+			case columnar.Int64:
+			case columnar.Float64:
+				ap.decode = true
+			default:
+				return nil, fmt.Errorf("query: cannot %v string column %q", a.kind, a.col)
+			}
+			ap.slot = slot
+		}
+		c.aggs = append(c.aggs, ap)
+		c.outCols = append(c.outCols, a.outName())
+	}
+	return c, nil
+}
+
+// compileSemi resolves the semi-join's dimension side.
+func compileSemi(cat Catalog, p *Plan, slots map[string]int) (*semiPlan, error) {
+	dh := cat.Handle(p.semi.dim)
+	if dh == nil {
+		return nil, fmt.Errorf("query: unknown dimension table %q", p.semi.dim)
+	}
+	dt := dh.Table()
+	dschema := dt.Schema()
+	keyCol := dschema.ColumnIndex(p.semi.dimKey)
+	if keyCol < 0 {
+		return nil, fmt.Errorf("query: dimension %q has no column %q", p.semi.dim, p.semi.dimKey)
+	}
+	sp := &semiPlan{dim: dh, probeSlot: slots[p.semi.factKey], keyCol: keyCol, words: 1}
+	predCols := map[int]bool{}
+	for _, pr := range p.semi.preds {
+		col := dschema.ColumnIndex(pr.col)
+		if col < 0 {
+			return nil, fmt.Errorf("query: dimension %q has no column %q", p.semi.dim, pr.col)
+		}
+		test, err := compileTest(dt, dschema, pr)
+		if err != nil {
+			return nil, err
+		}
+		sp.preds = append(sp.preds, dimFilter{col: col, ftest: test})
+		if !predCols[col] {
+			predCols[col] = true
+			sp.words++
+		}
+	}
+	return sp, nil
+}
+
+// compileTest specializes a predicate to the column's storage type: int64
+// columns compare raw words, float64 columns compare decoded IEEE values,
+// and string columns compare dictionary codes (equality only). Ordered
+// comparisons canonicalize to inclusive ranges so the block path needs no
+// per-row calls.
+func compileTest(tab *columnar.Table, schema columnar.Schema, pr Pred) (ftest, error) {
+	idx := schema.ColumnIndex(pr.col)
+	if idx < 0 {
+		return ftest{}, fmt.Errorf("query: table %q has no column %q", schema.Name, pr.col)
+	}
+	switch schema.Columns[idx].Type {
+	case columnar.Int64:
+		lo, err := toInt64(pr.col, pr.lo)
+		if err != nil {
+			return ftest{}, err
+		}
+		t := ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}
+		switch pr.op {
+		case opEq:
+			t.ilo, t.ihi = lo, lo
+		case opNe:
+			return ftest{kind: fIntNe, ilo: lo}, nil
+		case opGt:
+			if lo == math.MaxInt64 {
+				return ftest{kind: fNever}, nil
+			}
+			t.ilo = lo + 1
+		case opGe:
+			t.ilo = lo
+		case opLt:
+			if lo == math.MinInt64 {
+				return ftest{kind: fNever}, nil
+			}
+			t.ihi = lo - 1
+		case opLe:
+			t.ihi = lo
+		case opBetween:
+			hi, err := toInt64(pr.col, pr.hi)
+			if err != nil {
+				return ftest{}, err
+			}
+			t.ilo, t.ihi = lo, hi
+		}
+		return t, nil
+	case columnar.Float64:
+		lo, err := toFloat64(pr.col, pr.lo)
+		if err != nil {
+			return ftest{}, err
+		}
+		t := ftest{kind: fFloatRange, flo: math.Inf(-1), fhi: math.Inf(1)}
+		switch pr.op {
+		case opEq:
+			t.flo, t.fhi = lo, lo
+		case opNe:
+			return ftest{kind: fFloatNe, flo: lo}, nil
+		case opGt:
+			t.flo = math.Nextafter(lo, math.Inf(1))
+		case opGe:
+			t.flo = lo
+		case opLt:
+			t.fhi = math.Nextafter(lo, math.Inf(-1))
+		case opLe:
+			t.fhi = lo
+		case opBetween:
+			hi, err := toFloat64(pr.col, pr.hi)
+			if err != nil {
+				return ftest{}, err
+			}
+			t.flo, t.fhi = lo, hi
+		}
+		return t, nil
+	case columnar.String:
+		s, ok := pr.lo.(string)
+		if !ok {
+			return ftest{}, fmt.Errorf("query: string column %q compared with %T", pr.col, pr.lo)
+		}
+		if pr.op != opEq && pr.op != opNe {
+			return ftest{}, fmt.Errorf("query: string column %q supports only Eq/Ne, got %v", pr.col, pr.op)
+		}
+		code, known := tab.Dict(idx).Lookup(s)
+		if pr.op == opEq {
+			if !known {
+				return ftest{kind: fNever}, nil
+			}
+			return ftest{kind: fIntRange, ilo: code, ihi: code}, nil
+		}
+		if !known {
+			return ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}, nil
+		}
+		return ftest{kind: fIntNe, ilo: code}, nil
+	}
+	return ftest{}, fmt.Errorf("query: unsupported predicate %v on column %q", pr.op, pr.col)
+}
+
+func toInt64(col string, v any) (int64, error) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), nil
+	case int8:
+		return int64(x), nil
+	case int16:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case int64:
+		return x, nil
+	case uint8:
+		return int64(x), nil
+	case uint16:
+		return int64(x), nil
+	case uint32:
+		return int64(x), nil
+	case float64:
+		if x != float64(int64(x)) {
+			return 0, fmt.Errorf("query: non-integral value %v for int64 column %q", x, col)
+		}
+		return int64(x), nil
+	default:
+		return 0, fmt.Errorf("query: value %v (%T) unusable for int64 column %q", v, v, col)
+	}
+}
+
+func toFloat64(col string, v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("query: value %v (%T) unusable for float64 column %q", v, v, col)
+	}
+}
+
+// isNilCatalog also catches a typed-nil *ch.DB stored in the interface.
+func isNilCatalog(cat Catalog) bool {
+	if cat == nil {
+		return true
+	}
+	v := reflect.ValueOf(cat)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}
+
+// --- execution kernels ---
+
+// gkey is a composite group key (unused trailing slots stay zero; the key
+// width is fixed per plan so they never collide).
+type gkey [maxGroupCols]int64
+
+// denseLen bounds the dense fast path for single-column group keys: keys
+// in [0, denseLen) index a flat accumulator array instead of a hash map
+// (warehouse ids, line numbers, small dictionary codes); larger keys
+// spill to the map.
+const denseLen = 1024
+
+// acc is one aggregate's partial state. Sum and Avg use sum+count, Min/Max
+// use ext+seen, Count uses count alone.
+type acc struct {
+	sum   float64
+	ext   float64
+	count int64
+	seen  bool
+}
+
+type exec struct {
+	c     *Compiled
+	build map[int64]struct{}
+}
+
+type local struct {
+	e       *exec
+	global  []acc          // ungrouped accumulators
+	flat    []acc          // single-key fast path: flat[key*naggs+j]
+	present []bool         // flat occupancy, indexed by key
+	groups  map[gkey][]acc // grouped accumulators (spill / composite keys)
+	sel     []int32        // selection-vector scratch, reused across blocks
+	rows    [][]acc        // per-selected-row accumulator scratch
+}
+
+// NewLocal implements olap.Exec.
+func (e *exec) NewLocal() olap.Local {
+	l := &local{e: e}
+	switch {
+	case len(e.c.groups) == 0:
+		l.global = make([]acc, len(e.c.aggs))
+	case len(e.c.groups) == 1:
+		l.flat = make([]acc, denseLen*len(e.c.aggs))
+		l.present = make([]bool, denseLen)
+		l.groups = make(map[gkey][]acc)
+	default:
+		l.groups = make(map[gkey][]acc)
+	}
+	return l
+}
+
+// Consume implements olap.Local. Execution is columnar: each filter runs
+// as a tight range loop producing/compacting a selection vector, the
+// semi-join probes the surviving rows, and each aggregate then updates in
+// its own pass — so per-row work never dispatches through interfaces or
+// closures (the pushdown the builder promises).
+func (l *local) Consume(b olap.Block) {
+	c := l.e.c
+	sel := l.sel[:0]
+	if len(c.filters) == 0 {
+		for i := 0; i < b.N; i++ {
+			sel = append(sel, int32(i))
+		}
+	} else {
+		for fi := range c.filters {
+			f := &c.filters[fi]
+			vec := b.Cols[f.slot]
+			if fi == 0 {
+				sel = filterAll(&f.ftest, vec, b.N, sel)
+			} else {
+				sel = filterSel(&f.ftest, vec, sel)
+			}
+		}
+	}
+	if c.semi != nil {
+		vec := b.Cols[c.semi.probeSlot]
+		out := sel[:0]
+		for _, i := range sel {
+			if _, ok := l.e.build[vec[i]]; ok {
+				out = append(out, i)
+			}
+		}
+		sel = out
+	}
+	l.sel = sel // retain scratch capacity
+	if len(sel) == 0 {
+		return
+	}
+
+	if l.global != nil {
+		l.updateAccs(b, sel, nil)
+		return
+	}
+	if l.flat != nil {
+		l.updateDense(b, sel)
+		return
+	}
+	// Composite keys: resolve each selected row's accumulator row once,
+	// then update aggregate-by-aggregate.
+	rows := l.rows[:0]
+	for _, i := range sel {
+		var k gkey
+		for j, s := range c.groups {
+			k[j] = b.Cols[s][i]
+		}
+		rows = append(rows, l.lookupSpill(k))
+	}
+	l.rows = rows
+	l.updateAccs(b, sel, rows)
+}
+
+// denseAt returns the j-th accumulator of key k: flat-array for in-range
+// keys, spill map otherwise.
+func (l *local) denseAt(k int64, j, nagg int) *acc {
+	if uint64(k) < denseLen {
+		return &l.flat[int(k)*nagg+j]
+	}
+	return &l.lookupSpill(gkey{k})[j]
+}
+
+// updateDense is the single-key group path: accumulators live in one flat
+// array indexed by key*naggs, out-of-range keys spill to the map. The
+// aggregate kind dispatch is hoisted out of the row loops.
+func (l *local) updateDense(b olap.Block, sel []int32) {
+	c := l.e.c
+	nagg := len(c.aggs)
+	kvec := b.Cols[c.groups[0]]
+	for _, i := range sel {
+		if k := kvec[i]; uint64(k) < denseLen {
+			l.present[k] = true
+		}
+	}
+	for j := range c.aggs {
+		a := &c.aggs[j]
+		switch {
+		case a.kind == aggCount:
+			for _, i := range sel {
+				l.denseAt(kvec[i], j, nagg).count++
+			}
+		case a.kind == aggSum || a.kind == aggAvg:
+			vec := b.Cols[a.slot]
+			if a.decode {
+				for _, i := range sel {
+					st := l.denseAt(kvec[i], j, nagg)
+					st.sum += columnar.DecodeFloat(vec[i])
+					st.count++
+				}
+			} else {
+				for _, i := range sel {
+					st := l.denseAt(kvec[i], j, nagg)
+					st.sum += float64(vec[i])
+					st.count++
+				}
+			}
+		default: // aggMin, aggMax
+			vec := b.Cols[a.slot]
+			isMin := a.kind == aggMin
+			for _, i := range sel {
+				st := l.denseAt(kvec[i], j, nagg)
+				v := float64(vec[i])
+				if a.decode {
+					v = columnar.DecodeFloat(vec[i])
+				}
+				if !st.seen || (isMin && v < st.ext) || (!isMin && v > st.ext) {
+					st.ext = v
+					st.seen = true
+				}
+			}
+		}
+	}
+}
+
+func (l *local) lookupSpill(k gkey) []acc {
+	accs := l.groups[k]
+	if accs == nil {
+		accs = make([]acc, len(l.e.c.aggs))
+		l.groups[k] = accs
+	}
+	return accs
+}
+
+// updateAccs applies every aggregate over the selected rows. rows[ri] is
+// the accumulator row for sel[ri]; nil rows means the ungrouped global
+// accumulators. Each accumulator sees its updates in row order, so totals
+// are bit-identical to a row-at-a-time evaluation.
+func (l *local) updateAccs(b olap.Block, sel []int32, rows [][]acc) {
+	c := l.e.c
+	for j := range c.aggs {
+		a := &c.aggs[j]
+		if rows == nil {
+			l.updateGlobal(b, sel, j)
+			continue
+		}
+		if a.kind == aggCount {
+			for ri := range sel {
+				rows[ri][j].count++
+			}
+			continue
+		}
+		vec := b.Cols[a.slot]
+		for ri, i := range sel {
+			st := &rows[ri][j]
+			v := float64(vec[i])
+			if a.decode {
+				v = columnar.DecodeFloat(vec[i])
+			}
+			switch a.kind {
+			case aggSum, aggAvg:
+				st.sum += v
+				st.count++
+			case aggMin:
+				if !st.seen || v < st.ext {
+					st.ext = v
+					st.seen = true
+				}
+			case aggMax:
+				if !st.seen || v > st.ext {
+					st.ext = v
+					st.seen = true
+				}
+			}
+		}
+	}
+}
+
+// updateGlobal streams one ungrouped aggregate over the selection with
+// register accumulation (the hot path for ScanReduce plans like Q6).
+func (l *local) updateGlobal(b olap.Block, sel []int32, j int) {
+	a := &l.e.c.aggs[j]
+	st := &l.global[j]
+	switch a.kind {
+	case aggCount:
+		st.count += int64(len(sel))
+	case aggSum, aggAvg:
+		vec := b.Cols[a.slot]
+		s := st.sum
+		if a.decode {
+			for _, i := range sel {
+				s += columnar.DecodeFloat(vec[i])
+			}
+		} else {
+			for _, i := range sel {
+				s += float64(vec[i])
+			}
+		}
+		st.sum = s
+		st.count += int64(len(sel))
+	case aggMin:
+		vec := b.Cols[a.slot]
+		for _, i := range sel {
+			v := float64(vec[i])
+			if a.decode {
+				v = columnar.DecodeFloat(vec[i])
+			}
+			if !st.seen || v < st.ext {
+				st.ext = v
+				st.seen = true
+			}
+		}
+	case aggMax:
+		vec := b.Cols[a.slot]
+		for _, i := range sel {
+			v := float64(vec[i])
+			if a.decode {
+				v = columnar.DecodeFloat(vec[i])
+			}
+			if !st.seen || v > st.ext {
+				st.ext = v
+				st.seen = true
+			}
+		}
+	}
+}
+
+// filterAll scans the whole block through one test, appending survivors.
+func filterAll(t *ftest, vec []int64, n int, sel []int32) []int32 {
+	switch t.kind {
+	case fIntRange:
+		lo, hi := t.ilo, t.ihi
+		for i := 0; i < n; i++ {
+			if w := vec[i]; w >= lo && w <= hi {
+				sel = append(sel, int32(i))
+			}
+		}
+	case fIntNe:
+		v := t.ilo
+		for i := 0; i < n; i++ {
+			if vec[i] != v {
+				sel = append(sel, int32(i))
+			}
+		}
+	case fFloatRange:
+		lo, hi := t.flo, t.fhi
+		for i := 0; i < n; i++ {
+			if d := columnar.DecodeFloat(vec[i]); d >= lo && d <= hi {
+				sel = append(sel, int32(i))
+			}
+		}
+	case fFloatNe:
+		v := t.flo
+		for i := 0; i < n; i++ {
+			if columnar.DecodeFloat(vec[i]) != v {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
+// filterSel compacts an existing selection in place through one test.
+func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
+	out := sel[:0]
+	switch t.kind {
+	case fIntRange:
+		lo, hi := t.ilo, t.ihi
+		for _, i := range sel {
+			if w := vec[i]; w >= lo && w <= hi {
+				out = append(out, i)
+			}
+		}
+	case fIntNe:
+		v := t.ilo
+		for _, i := range sel {
+			if vec[i] != v {
+				out = append(out, i)
+			}
+		}
+	case fFloatRange:
+		lo, hi := t.flo, t.fhi
+		for _, i := range sel {
+			if d := columnar.DecodeFloat(vec[i]); d >= lo && d <= hi {
+				out = append(out, i)
+			}
+		}
+	case fFloatNe:
+		v := t.flo
+		for _, i := range sel {
+			if columnar.DecodeFloat(vec[i]) != v {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Merge implements olap.Exec: partials combine in worker order, grouped
+// rows emit sorted ascending by key (the engine's worker interleaving is
+// nondeterministic, so a stable output order keeps results comparable).
+func (e *exec) Merge(locals []olap.Local) olap.Result {
+	c := e.c
+	res := olap.Result{Cols: c.outCols}
+	if len(c.groups) == 0 {
+		total := make([]acc, len(c.aggs))
+		for _, li := range locals {
+			mergeAccs(total, li.(*local).global, c.aggs)
+		}
+		res.Rows = [][]float64{emitRow(c, gkey{}, total)}
+		return res
+	}
+	total := make(map[gkey][]acc)
+	var keys []gkey
+	merge := func(k gkey, accs []acc) {
+		t := total[k]
+		if t == nil {
+			t = make([]acc, len(c.aggs))
+			total[k] = t
+			keys = append(keys, k)
+		}
+		mergeAccs(t, accs, c.aggs)
+	}
+	for _, li := range locals {
+		ll := li.(*local)
+		if ll.flat != nil {
+			nagg := len(c.aggs)
+			for kv, on := range ll.present {
+				if on {
+					merge(gkey{int64(kv)}, ll.flat[kv*nagg:(kv+1)*nagg])
+				}
+			}
+		}
+		for k, accs := range ll.groups {
+			merge(k, accs)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		for d := 0; d < len(c.groups); d++ {
+			if keys[i][d] != keys[j][d] {
+				return keys[i][d] < keys[j][d]
+			}
+		}
+		return false
+	})
+	for _, k := range keys {
+		res.Rows = append(res.Rows, emitRow(c, k, total[k]))
+	}
+	return res
+}
+
+func mergeAccs(dst, src []acc, aggs []aggPlan) {
+	for j := range aggs {
+		switch aggs[j].kind {
+		case aggCount:
+			dst[j].count += src[j].count
+		case aggSum, aggAvg:
+			dst[j].sum += src[j].sum
+			dst[j].count += src[j].count
+		case aggMin:
+			if src[j].seen && (!dst[j].seen || src[j].ext < dst[j].ext) {
+				dst[j].ext = src[j].ext
+				dst[j].seen = true
+			}
+		case aggMax:
+			if src[j].seen && (!dst[j].seen || src[j].ext > dst[j].ext) {
+				dst[j].ext = src[j].ext
+				dst[j].seen = true
+			}
+		}
+	}
+}
+
+func emitRow(c *Compiled, k gkey, accs []acc) []float64 {
+	row := make([]float64, 0, len(c.groups)+len(c.aggs))
+	for d := range c.groups {
+		row = append(row, float64(k[d]))
+	}
+	for j, a := range c.aggs {
+		st := accs[j]
+		switch a.kind {
+		case aggCount:
+			row = append(row, float64(st.count))
+		case aggSum:
+			row = append(row, st.sum)
+		case aggAvg:
+			if st.count == 0 {
+				row = append(row, 0)
+			} else {
+				row = append(row, st.sum/float64(st.count))
+			}
+		case aggMin, aggMax:
+			row = append(row, st.ext)
+		}
+	}
+	return row
+}

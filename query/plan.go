@@ -1,0 +1,308 @@
+// Package query is a declarative, logical-plan query builder for
+// elastichtap. A Plan describes an analytical query as relational-algebra
+// steps over one fact table — scan, filter (σ), semi-join against a
+// dimension, group-by (γ) and aggregate — and compiles onto the OLAP
+// engine's generic executor with predicate pushdown into block consumption
+// and per-worker partial aggregates merged at the end.
+//
+// Plans are built fluently:
+//
+//	p := query.Scan("orderline").
+//		Filter(query.Ge("ol_delivery_d", today)).
+//		GroupBy("ol_w_id").
+//		Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+//	q, err := p.Bind(db) // db is any Catalog, e.g. *ch.DB
+//
+// The compiled query implements olap.Query, so it flows through the
+// adaptive scheduler like the hand-written CH-benCHmark queries: the work
+// class for the cost model (Algorithm 2's state choice) is inferred from
+// the plan shape — JoinProbe when a semi-join is present, ScanGroupBy when
+// grouped, ScanReduce otherwise.
+//
+// Construction errors (unknown columns, type mismatches) accumulate in the
+// plan and surface at Bind, so fluent chains never need mid-expression
+// error checks.
+package query
+
+import (
+	"fmt"
+
+	"elastichtap/internal/costmodel"
+)
+
+// maxGroupCols bounds the composite group key width.
+const maxGroupCols = 4
+
+// op enumerates predicate comparisons.
+type op int8
+
+const (
+	opEq op = iota
+	opNe
+	opGt
+	opGe
+	opLt
+	opLe
+	opBetween
+)
+
+func (o op) String() string {
+	switch o {
+	case opEq:
+		return "="
+	case opNe:
+		return "!="
+	case opGt:
+		return ">"
+	case opGe:
+		return ">="
+	case opLt:
+		return "<"
+	case opLe:
+		return "<="
+	case opBetween:
+		return "between"
+	default:
+		return fmt.Sprintf("op(%d)", int8(o))
+	}
+}
+
+// Pred is one column predicate. Build with Eq, Ne, Gt, Ge, Lt, Le or
+// Between; values may be any Go integer, float64, or (for Eq/Ne on string
+// columns) a string. Predicates compile against the bound table's column
+// types, so an int64 column is compared in integer space and a float64
+// column in IEEE space.
+type Pred struct {
+	col    string
+	op     op
+	lo, hi any
+}
+
+// Col returns the column the predicate tests.
+func (p Pred) Col() string { return p.col }
+
+func (p Pred) String() string {
+	if p.op == opBetween {
+		return fmt.Sprintf("%s between %v and %v", p.col, p.lo, p.hi)
+	}
+	return fmt.Sprintf("%s %v %v", p.col, p.op, p.lo)
+}
+
+// Eq matches rows where col equals v.
+func Eq(col string, v any) Pred { return Pred{col: col, op: opEq, lo: v} }
+
+// Ne matches rows where col differs from v.
+func Ne(col string, v any) Pred { return Pred{col: col, op: opNe, lo: v} }
+
+// Gt matches rows where col is strictly greater than v.
+func Gt(col string, v any) Pred { return Pred{col: col, op: opGt, lo: v} }
+
+// Ge matches rows where col is at least v.
+func Ge(col string, v any) Pred { return Pred{col: col, op: opGe, lo: v} }
+
+// Lt matches rows where col is strictly less than v.
+func Lt(col string, v any) Pred { return Pred{col: col, op: opLt, lo: v} }
+
+// Le matches rows where col is at most v.
+func Le(col string, v any) Pred { return Pred{col: col, op: opLe, lo: v} }
+
+// Between matches rows where lo <= col <= hi (both ends inclusive).
+func Between(col string, lo, hi any) Pred { return Pred{col: col, op: opBetween, lo: lo, hi: hi} }
+
+// aggKind enumerates aggregate functions.
+type aggKind int8
+
+const (
+	aggSum aggKind = iota
+	aggAvg
+	aggMin
+	aggMax
+	aggCount
+)
+
+func (k aggKind) String() string {
+	switch k {
+	case aggSum:
+		return "sum"
+	case aggAvg:
+		return "avg"
+	case aggMin:
+		return "min"
+	case aggMax:
+		return "max"
+	case aggCount:
+		return "count"
+	default:
+		return fmt.Sprintf("agg(%d)", int8(k))
+	}
+}
+
+// Agg is one aggregate output column. Build with Sum, Avg, Min, Max or
+// Count, and optionally rename with As.
+type Agg struct {
+	kind aggKind
+	col  string
+	name string
+}
+
+// Sum totals a numeric column over each group.
+func Sum(col string) Agg { return Agg{kind: aggSum, col: col} }
+
+// Avg averages a numeric column over each group.
+func Avg(col string) Agg { return Agg{kind: aggAvg, col: col} }
+
+// Min tracks the minimum of a numeric column over each group.
+func Min(col string) Agg { return Agg{kind: aggMin, col: col} }
+
+// Max tracks the maximum of a numeric column over each group.
+func Max(col string) Agg { return Agg{kind: aggMax, col: col} }
+
+// Count counts the rows in each group.
+func Count() Agg { return Agg{kind: aggCount} }
+
+// As renames the aggregate's output column.
+func (a Agg) As(name string) Agg { a.name = name; return a }
+
+// outName returns the result-column name for the aggregate.
+func (a Agg) outName() string {
+	if a.name != "" {
+		return a.name
+	}
+	if a.kind == aggCount {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%s", a.kind, a.col)
+}
+
+// semiSpec is a semi-join step: keep fact rows whose factKey appears in the
+// dimension's dimKey column among dimension rows passing preds.
+type semiSpec struct {
+	dim     string
+	factKey string
+	dimKey  string
+	preds   []Pred
+}
+
+// Plan is a logical analytical query under construction. The zero value is
+// unusable; start from Scan. Methods return the receiver for chaining and
+// record the first construction error for Bind to surface.
+type Plan struct {
+	name     string
+	table    string
+	scanCols []string
+	preds    []Pred
+	semi     *semiSpec
+	groups   []string
+	aggs     []Agg
+	err      error
+}
+
+// Scan starts a plan over a fact table. The optional cols fix the scan's
+// column order (every column the plan references must be listed); when
+// omitted, the scan list is inferred from the plan in reference order.
+func Scan(table string, cols ...string) *Plan {
+	p := &Plan{table: table, scanCols: cols}
+	if table == "" {
+		p.fail(fmt.Errorf("query: Scan with empty table name"))
+	}
+	return p
+}
+
+func (p *Plan) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// Named sets the query's display name (QueryReport.Query); the default is
+// "scan(<table>)".
+func (p *Plan) Named(name string) *Plan {
+	p.name = name
+	return p
+}
+
+// Filter appends predicates; all must hold for a row to survive (σ). The
+// predicates are pushed into block consumption, so rejected rows never
+// reach the join probe or the aggregation kernels.
+func (p *Plan) Filter(preds ...Pred) *Plan {
+	for _, pr := range preds {
+		if pr.col == "" {
+			p.fail(fmt.Errorf("query: predicate with empty column name"))
+		}
+	}
+	p.preds = append(p.preds, preds...)
+	return p
+}
+
+// SemiJoin keeps fact rows whose factKey matches dimKey in some dimension
+// row passing dimPreds — the existence form of a fact-dimension hash join.
+// The dimension rows are read at Prepare time (dimensions are static under
+// the transactional workload) and the build side is charged as broadcast
+// bytes, so the cost model prices it like the paper's broadcast join.
+// At most one semi-join per plan.
+func (p *Plan) SemiJoin(dim, factKey, dimKey string, dimPreds ...Pred) *Plan {
+	if p.semi != nil {
+		p.fail(fmt.Errorf("query: plan already has a semi-join (%s)", p.semi.dim))
+		return p
+	}
+	if dim == "" || factKey == "" || dimKey == "" {
+		p.fail(fmt.Errorf("query: SemiJoin needs dimension, fact-key and dim-key names"))
+		return p
+	}
+	p.semi = &semiSpec{dim: dim, factKey: factKey, dimKey: dimKey, preds: dimPreds}
+	return p
+}
+
+// GroupBy sets the grouping keys (γ). Group columns must be int64-typed
+// (ids, dates, codes); result rows carry the key values first, ordered
+// ascending by key.
+func (p *Plan) GroupBy(cols ...string) *Plan {
+	if len(p.groups) > 0 {
+		p.fail(fmt.Errorf("query: GroupBy called twice"))
+		return p
+	}
+	if len(cols) > maxGroupCols {
+		p.fail(fmt.Errorf("query: %d group columns, max %d", len(cols), maxGroupCols))
+		return p
+	}
+	for _, c := range cols {
+		if c == "" {
+			p.fail(fmt.Errorf("query: GroupBy with empty column name"))
+			return p
+		}
+	}
+	p.groups = cols
+	return p
+}
+
+// Agg appends aggregate outputs. Every plan needs at least one.
+func (p *Plan) Agg(aggs ...Agg) *Plan {
+	p.aggs = append(p.aggs, aggs...)
+	return p
+}
+
+// Name returns the display name the compiled query will carry.
+func (p *Plan) Name() string {
+	if p.name != "" {
+		return p.name
+	}
+	return fmt.Sprintf("scan(%s)", p.table)
+}
+
+// Class infers the cost-model work class from the plan shape: a semi-join
+// probes per row (JoinProbe), grouping hashes per row (ScanGroupBy), and a
+// bare filtered aggregation streams (ScanReduce). The scheduler's
+// Algorithm 2 uses this to time the pipeline when choosing S1/S2/S3.
+func (p *Plan) Class() costmodel.WorkClass {
+	switch {
+	case p.semi != nil:
+		return costmodel.JoinProbe
+	case len(p.groups) > 0:
+		return costmodel.ScanGroupBy
+	default:
+		return costmodel.ScanReduce
+	}
+}
+
+// Err returns the first construction error, if any, without binding.
+func (p *Plan) Err() error { return p.err }

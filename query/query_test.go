@@ -1,0 +1,287 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/costmodel"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/topology"
+)
+
+// testCatalog adapts an oltp.Engine to the Catalog interface.
+type testCatalog struct{ e *oltp.Engine }
+
+func (c testCatalog) Handle(name string) *oltp.TableHandle { return c.e.Table(name) }
+
+// newFixture loads a small sales/product pair:
+//
+//	sales(day int, pid int, qty int, amount float, tag string)
+//	product(pid int, price float)
+func newFixture(t *testing.T) (Catalog, *oltp.Engine) {
+	t.Helper()
+	e := oltp.NewEngine()
+	sales := e.CreateTable(columnar.Schema{Name: "sales", Columns: []columnar.ColumnDef{
+		{Name: "day", Type: columnar.Int64},
+		{Name: "pid", Type: columnar.Int64},
+		{Name: "qty", Type: columnar.Int64},
+		{Name: "amount", Type: columnar.Float64},
+		{Name: "tag", Type: columnar.String},
+	}}, 16, false)
+	st := sales.Table()
+	var rows [][]int64
+	for _, r := range []struct {
+		day, pid, qty int
+		amount        float64
+		tag           string
+	}{
+		{1, 1, 2, 10.5, "web"},
+		{1, 2, 1, 3.25, "store"},
+		{2, 1, 4, 21.0, "web"},
+		{2, 3, 3, 9.0, "web"},
+		{3, 2, 5, 16.25, "store"},
+		{3, 3, 1, 3.0, "phone"},
+	} {
+		rows = append(rows, st.EncodeRow(r.day, r.pid, r.qty, r.amount, r.tag))
+	}
+	st.AppendRows(rows, 0)
+
+	product := e.CreateTable(columnar.Schema{Name: "product", Columns: []columnar.ColumnDef{
+		{Name: "pid", Type: columnar.Int64},
+		{Name: "price", Type: columnar.Float64},
+	}}, 4, false)
+	pt := product.Table()
+	pt.AppendRows([][]int64{
+		pt.EncodeRow(1, 5.25),
+		pt.EncodeRow(2, 3.25),
+		pt.EncodeRow(3, 3.0),
+	}, 0)
+	return testCatalog{e}, e
+}
+
+func run(t *testing.T, e *oltp.Engine, q olap.Query) olap.Result {
+	t.Helper()
+	tab := e.Table(q.FactTable()).Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "test",
+	}}}
+	eng := olap.NewEngine(1)
+	eng.SetPlacement(topology.Placement{PerSocket: []int{1}})
+	res, _, err := eng.Execute(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFilterGroupByAggregate(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Filter(Ge("day", 2)).
+		GroupBy("pid").
+		Agg(Sum("amount").As("revenue"), Sum("qty"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	wantCols := []string{"pid", "revenue", "sum_qty", "count"}
+	if !reflect.DeepEqual(res.Cols, wantCols) {
+		t.Fatalf("cols = %v, want %v", res.Cols, wantCols)
+	}
+	want := [][]float64{
+		{1, 21.0, 4, 1},
+		{2, 16.25, 5, 1},
+		{3, 12.0, 4, 2},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestUngroupedAggregatesAndMinMax(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Agg(Min("amount"), Max("amount"), Avg("qty"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{3.0, 21.0, 16.0 / 6.0, 6}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestEmptySelectionStillEmitsUngroupedRow(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Filter(Gt("day", 100)).
+		Agg(Sum("amount"), Avg("amount"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{0, 0, 0}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestStringEqualityPredicate(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Filter(Eq("tag", "web")).
+		Agg(Sum("amount").As("revenue"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{40.5, 3}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+
+	// An unknown dictionary string matches nothing (Eq) / everything (Ne).
+	q2, err := Scan("sales").Filter(Eq("tag", "fax")).Agg(Count()).Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := run(t, e, q2); res.Rows[0][0] != 0 {
+		t.Fatalf("unknown Eq matched %v rows", res.Rows[0][0])
+	}
+	q3, err := Scan("sales").Filter(Ne("tag", "fax")).Agg(Count()).Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := run(t, e, q3); res.Rows[0][0] != 6 {
+		t.Fatalf("unknown Ne matched %v rows", res.Rows[0][0])
+	}
+}
+
+func TestSemiJoinWithDimensionPredicate(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		SemiJoin("product", "pid", "pid", Gt("price", 3.1)).
+		Agg(Sum("amount").As("revenue"), Count().As("matches")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class() != costmodel.JoinProbe {
+		t.Fatalf("class = %v, want JoinProbe", q.Class())
+	}
+	// Products 1 (5.25) and 2 (3.25) qualify; sales rows for pid 1,2.
+	res := run(t, e, q)
+	want := [][]float64{{10.5 + 3.25 + 21.0 + 16.25, 4}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	// Broadcast charge: 3 dim rows x (key + price) x 8 bytes.
+	_, buildBytes := q.Prepare()
+	if buildBytes != 3*2*columnar.WordBytes {
+		t.Fatalf("buildBytes = %d", buildBytes)
+	}
+}
+
+func TestMultiColumnGroupKey(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		GroupBy("day", "pid").
+		Agg(Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d groups, want 6", len(res.Rows))
+	}
+	// Sorted ascending by (day, pid).
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("rows not sorted: %v", res.Rows)
+		}
+	}
+}
+
+func TestClassInference(t *testing.T) {
+	if c := Scan("sales").Agg(Count()).Class(); c != costmodel.ScanReduce {
+		t.Errorf("reduce class = %v", c)
+	}
+	if c := Scan("sales").GroupBy("pid").Agg(Count()).Class(); c != costmodel.ScanGroupBy {
+		t.Errorf("groupby class = %v", c)
+	}
+	if c := Scan("sales").SemiJoin("product", "pid", "pid").GroupBy("pid").Agg(Count()).Class(); c != costmodel.JoinProbe {
+		t.Errorf("join class = %v", c)
+	}
+}
+
+func TestExplicitProjection(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales", "day", "qty", "amount").
+		Filter(Ge("day", 2)).
+		Agg(Sum("amount"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Columns()); got != 3 {
+		t.Fatalf("scan width %d, want 3", got)
+	}
+	res := run(t, e, q)
+	if res.Rows[0][1] != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// Referencing a column outside the projection is a bind error.
+	_, err = Scan("sales", "day").Filter(Ge("qty", 1)).Agg(Count()).Bind(cat)
+	if err == nil || !strings.Contains(err.Error(), "projection") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat, _ := newFixture(t)
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"unknown-table", Scan("nope").Agg(Count()), "unknown table"},
+		{"unknown-column", Scan("sales").Filter(Eq("color", 1)).Agg(Count()), "no column"},
+		{"no-aggregates", Scan("sales").Filter(Eq("day", 1)), "no aggregates"},
+		{"string-group", Scan("sales").GroupBy("tag").Agg(Count()), "int64 keys"},
+		{"empty-group", Scan("sales").GroupBy("").Agg(Count()), "empty column"},
+		{"string-order", Scan("sales").Filter(Gt("tag", "a")).Agg(Count()), "Eq/Ne"},
+		{"string-sum", Scan("sales").Agg(Sum("tag")), "string column"},
+		{"fractional-int", Scan("sales").Filter(Eq("day", 1.5)).Agg(Count()), "non-integral"},
+		{"double-groupby", Scan("sales").GroupBy("day").GroupBy("pid").Agg(Count()), "GroupBy called twice"},
+		{"double-semijoin",
+			Scan("sales").SemiJoin("product", "pid", "pid").SemiJoin("product", "pid", "pid").Agg(Count()),
+			"already has a semi-join"},
+		{"unknown-dim", Scan("sales").SemiJoin("nope", "pid", "pid").Agg(Count()), "unknown dimension"},
+		{"unknown-dim-col", Scan("sales").SemiJoin("product", "pid", "sku").Agg(Count()), "no column"},
+		{"empty-table", Scan("").Agg(Count()), "empty table"},
+	}
+	for _, tc := range cases {
+		_, err := tc.plan.Bind(cat)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Scan("sales").Agg(Count()).Bind(nil); err == nil || !strings.Contains(err.Error(), "nil catalog") {
+		t.Errorf("nil catalog: err = %v", err)
+	}
+	var nilPlan *Plan
+	if _, err := nilPlan.Bind(cat); err == nil {
+		t.Error("nil plan bound")
+	}
+}
