@@ -382,3 +382,55 @@ func BenchmarkCuckooVsMap(b *testing.B) {
 func placementOf(n int) topology.Placement {
 	return topology.Placement{PerSocket: []int{n}}
 }
+
+// BenchmarkPoolConcurrentQueries measures task admission on the shared
+// worker pool: every parallel bench goroutine submits Q6 scans that
+// interleave their morsels on the same 8 workers. Run with -race in CI as
+// the pool's concurrency smoke.
+func BenchmarkPoolConcurrentQueries(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	defer eng.Close()
+	q := &ch.Q6{DB: db}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := eng.Execute(q, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPoolElasticResize measures a resize round-trip against a pool
+// that is concurrently scanning: the cost of shedding and re-granting
+// four workers mid-query.
+func BenchmarkPoolElasticResize(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	defer eng.Close()
+	q := &ch.Q6{DB: db}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := eng.Execute(q, src); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.SetPlacement(placementOf(4))
+		eng.SetPlacement(placementOf(8))
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

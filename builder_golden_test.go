@@ -1,9 +1,9 @@
 package elastichtap
 
 import (
-	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"elastichtap/internal/ch"
 	"elastichtap/internal/olap"
@@ -105,10 +105,12 @@ func TestBuilderGoldenSingleWorker(t *testing.T) {
 }
 
 // TestBuilderGoldenAcrossStates runs each pair through the full system in
-// every forced state at two scale factors. Multi-worker merges make float
-// totals run-dependent in the last bits (for hand-coded and builder
-// queries alike), so cells compare under a tight relative tolerance while
-// shapes, scan statistics and states compare exactly.
+// every forced state at two scale factors. The engine merges per-morsel
+// partials in morsel order, so float totals are bitwise deterministic for
+// hand-coded and builder queries alike: results compare exactly, as do
+// shapes, scan statistics and states. Stats.Workers reports the measured
+// participant count, which legitimately varies run to run, so it is only
+// bounds-checked.
 func TestBuilderGoldenAcrossStates(t *testing.T) {
 	for _, sf := range []float64{0.002, 0.005} {
 		sys, err := New()
@@ -137,38 +139,130 @@ func TestBuilderGoldenAcrossStates(t *testing.T) {
 				if got.State != want.State {
 					t.Fatalf("sf=%v %v %s: states %v != %v", sf, st, p.name, got.State, want.State)
 				}
-				assertResultsClose(t, p.name, got.Result, want.Result)
+				assertResultsIdentical(t, p.name, got.Result, want.Result)
 				if got.Stats.RowsScanned != want.Stats.RowsScanned ||
 					got.Stats.BuildBytes != want.Stats.BuildBytes ||
-					got.Stats.Workers != want.Stats.Workers ||
+					got.Stats.Morsels != want.Stats.Morsels ||
 					!reflect.DeepEqual(got.Stats.BytesAt, want.Stats.BytesAt) {
 					t.Errorf("sf=%v %v %s: stats %+v != %+v", sf, st, p.name, got.Stats, want.Stats)
+				}
+				for _, st := range []olap.Stats{got.Stats, want.Stats} {
+					if st.Morsels > 0 && (st.Workers < 1 || st.Workers > st.Morsels) {
+						t.Errorf("sf=%v %s: workers %d outside [1,%d]", sf, p.name, st.Workers, st.Morsels)
+					}
 				}
 			}
 		}
 	}
 }
 
-func assertResultsClose(t *testing.T, name string, got, want olap.Result) {
+// assertResultsIdentical demands bitwise equality: the worker pool's
+// morsel-ordered merge removes all run-to-run float drift, so golden
+// results must match to the last bit even across worker counts, work
+// stealing and mid-query resizes.
+func assertResultsIdentical(t *testing.T, name string, got, want olap.Result) {
 	t.Helper()
 	if !reflect.DeepEqual(got.Cols, want.Cols) {
 		t.Fatalf("%s: cols %v != %v", name, got.Cols, want.Cols)
 	}
-	if len(got.Rows) != len(want.Rows) {
-		t.Fatalf("%s: %d rows, want %d", name, len(got.Rows), len(want.Rows))
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("%s: rows differ\n got %v\nwant %v", name, got.Rows, want.Rows)
 	}
-	const relTol = 1e-9
-	for i := range want.Rows {
-		for j := range want.Rows[i] {
-			g, w := got.Rows[i][j], want.Rows[i][j]
-			if g == w {
-				continue
-			}
-			if math.Abs(g-w) > relTol*math.Max(math.Abs(g), math.Abs(w)) {
-				t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, g, w)
+}
+
+// TestBuilderGoldenDeterministicUnderStealing pins the determinism claim
+// directly at the engine: a placement whose workers all live on the
+// remote socket forces every morsel through cross-socket work stealing
+// with racy claim order, yet each run must stay byte-identical to the
+// single-worker hand-coded reference.
+func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.SizingForScale(0.02), 11)
+	tab := db.OrderLine.Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
+	}}}
+
+	ref := olap.NewEngine(2)
+	defer ref.Close()
+	ref.SetPlacement(topology.Placement{PerSocket: []int{1, 0}})
+
+	thief := olap.NewEngine(2)
+	defer thief.Close()
+	thief.SetPlacement(topology.Placement{PerSocket: []int{0, 6}})
+
+	for _, p := range goldenPairs(db) {
+		built, err := p.plan.Bind(db)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", p.name, err)
+		}
+		want, _, err := ref.Execute(p.hand, src)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", p.name, err)
+		}
+		for round := 0; round < 3; round++ {
+			for _, q := range []olap.Query{p.hand, built} {
+				got, st, err := thief.Execute(q, src)
+				if err != nil {
+					t.Fatalf("%s round %d: %v", p.name, round, err)
+				}
+				assertResultsIdentical(t, p.name, got, want)
+				if st.StolenMorsels != int64(st.Morsels) {
+					t.Fatalf("%s: %d/%d morsels stolen, expected all (workers are remote)",
+						p.name, st.StolenMorsels, st.Morsels)
+				}
 			}
 		}
 	}
+}
+
+// TestGoldenStableUnderMigrationChurn queries through the full adaptive
+// system while a background goroutine thrashes state migrations, resizing
+// the OLAP pool mid-query. With no concurrent transactions the snapshot
+// is fixed, so every repetition must return byte-identical rows.
+func TestGoldenStableUnderMigrationChurn(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.LoadCH(0.02, 7)
+	if err := sys.StartWorkload(0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(300)
+
+	stop := make(chan struct{})
+	donech := make(chan struct{})
+	go func() {
+		defer close(donech)
+		states := []State{S1, S3NI, S3IS, S1, S3NI}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.Core().Sched.MigrateTo(states[i%len(states)])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	for _, q := range []Query{Q1(db), Q6(db), Q19(db)} {
+		var want olap.Result
+		for round := 0; round < 4; round++ {
+			rep, err := sys.QueryInState(q, S3NI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 {
+				want = rep.Result
+				continue
+			}
+			assertResultsIdentical(t, q.Name(), rep.Result, want)
+		}
+	}
+	close(stop)
+	<-donech
 }
 
 // TestAdhocFilterGroupByEndToEnd runs a brand-new ad-hoc query — filter

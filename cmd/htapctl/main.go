@@ -79,7 +79,7 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "round\tstate\tmethod\tresp (s)\tetl (s)\tfreshness\tOLTP MTPS")
+	fmt.Fprintln(tw, "round\tstate\tmethod\tresp (s)\tetl (s)\tfreshness\tOLTP MTPS\tworkers\tstolen")
 	for r := 1; r <= *rounds; r++ {
 		sys.Run(*txns)
 		rate, _ := sys.Freshness()
@@ -92,9 +92,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(tw, "%d\t%v\t%v\t%.3f\t%.3f\t%.4f\t%.3f\n",
+		// workers: pool goroutines that actually consumed morsels this
+		// round; stolen: share of morsels pulled across sockets.
+		stolen := 0.0
+		if rep.Stats.Morsels > 0 {
+			stolen = float64(rep.Stats.StolenMorsels) / float64(rep.Stats.Morsels)
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%.3f\t%.3f\t%.4f\t%.3f\t%d\t%.0f%%\n",
 			r, rep.State, rep.Method, rep.ResponseSeconds, rep.ETLSeconds,
-			rate, rep.OLTPDuringTPS/1e6)
+			rate, rep.OLTPDuringTPS/1e6, rep.Stats.Workers, stolen*100)
 	}
 	tw.Flush()
 

@@ -21,6 +21,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Release the persistent OLAP worker pool when done.
+	defer sys.Close()
 
 	// Load a small CH-benCHmark database and synchronize the OLAP
 	// replicas (freshness-rate 1).

@@ -6,8 +6,11 @@
 //
 //   - an OLTP engine: twin-instance columnar storage, MV2PL snapshot
 //     isolation, cuckoo-hash indexes, an elastic worker pool;
-//   - an OLAP engine: morsel-parallel columnar scans with pluggable access
-//     paths (contiguous, split fresh/cold);
+//   - an OLAP engine: a persistent, elastic worker pool — one goroutine
+//     per allocated core, per-socket morsel queues with socket-affine
+//     dispatch and cross-socket work stealing — running morsel-parallel
+//     columnar scans with pluggable access paths (contiguous, split
+//     fresh/cold);
 //   - an RDE (Resource and Data Exchange) engine that owns cores and
 //     memory, switches the OLTP active instance, synchronizes the twins,
 //     and ETLs fresh deltas into the OLAP replicas.
@@ -15,6 +18,16 @@
 // A freshness-driven scheduler (the paper's Algorithms 1 and 2) migrates
 // the system between states S1 (co-located), S2 (isolated + ETL), S3-IS
 // (hybrid isolated) and S3-NI (hybrid non-isolated) per query.
+//
+// Queries execute as tasks admitted to the shared OLAP pool: Query and
+// QueryBatch may be called from concurrent goroutines, whose morsels
+// interleave on the same workers (admission — snapshot switch, freshness
+// measurement, migration, ETL — is serialized; execution is concurrent).
+// Each migration resizes the pool mid-query: workers park or wake as the
+// scheduler moves cores between the engines, and Stats.Workers reports
+// how many actually participated. Results are nonetheless bitwise
+// deterministic — per-morsel partials merge in morsel order, so float
+// aggregates never depend on worker interleaving or work stealing.
 //
 // Systems are configured with functional options, which distinguish unset
 // knobs from explicit zeros (WithAlpha(0) really means α=0):
@@ -59,7 +72,6 @@ import (
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/metrics"
 	"elastichtap/internal/olap"
-	"elastichtap/internal/oltp"
 	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
 	"elastichtap/query"
@@ -467,8 +479,11 @@ func (s *System) Checkpoint(w io.Writer, table string) (int64, error) {
 	if h == nil {
 		return 0, fmt.Errorf("elastichtap: unknown table %q", table)
 	}
-	set := s.inner.X.SwitchAndSync([]*oltp.TableHandle{h})
-	snap := set.Snap(table)
+	// The serialization scan reads the snapshot instance without atomics;
+	// the pin keeps a concurrent query's switch from re-activating it
+	// mid-write for tables that take in-place updates.
+	snap, release := s.inner.PinnedSnapshot(h)
+	defer release()
 	if err := checkpoint.Write(w, h.Table(), snap.Inst, snap.Rows); err != nil {
 		return 0, err
 	}
@@ -483,3 +498,9 @@ func RestoreTable(r io.Reader) (*columnar.Table, error) {
 
 // Metrics returns a system-wide observability snapshot.
 func (s *System) Metrics() metrics.Snapshot { return s.inner.Metrics() }
+
+// Close releases the system's worker pools: the persistent OLAP pool
+// drains queued work and its goroutines exit. Call it when the system is
+// no longer needed (long-running processes that build many systems would
+// otherwise accumulate parked pool goroutines); queries fail after Close.
+func (s *System) Close() { s.inner.Close() }

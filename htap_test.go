@@ -2,8 +2,11 @@ package elastichtap
 
 import (
 	"errors"
+	"io"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func newSystem(t *testing.T) (*System, *DB) {
@@ -260,5 +263,101 @@ func TestFacadeCoreAccess(t *testing.T) {
 	m := sys.Core().Metrics()
 	if m.Tables == 0 {
 		t.Fatal("metrics through facade broken")
+	}
+}
+
+// TestConcurrentQueriesCheckpointsAndPayments drives the update-heavy
+// concurrency triangle under -race: Payment transactions update rows in
+// place, analytical queries scan the (insert-only) fact table, and
+// checkpoints serialize snapshots of an updated table — all at once. The
+// RDE scan latches must keep the non-atomic block reads race-free while
+// queries over the insert-only fact table stay un-serialized.
+func TestConcurrentQueriesCheckpointsAndPayments(t *testing.T) {
+	sys, db := newSystem(t)
+	if err := sys.StartWorkload(60); err != nil { // 60% Payment: in-place updates
+		t.Fatal(err)
+	}
+	sys.Run(200)
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// In-place updates + inserts while everything else runs.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.Run(20)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Checkpoints of an updated table: serializes a snapshot instance a
+	// concurrent switch would otherwise re-activate and overwrite.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sys.Checkpoint(io.Discard, "district"); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1.0
+			for i := 0; i < 5; i++ {
+				rep, err := sys.Query(Q6(db))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if count := rep.Result.Rows[0][1]; count < prev {
+					t.Errorf("Q6 count shrank: %v -> %v", prev, count)
+					return
+				} else {
+					prev = count
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+
+	if sys.Metrics().Failed > 0 {
+		t.Fatalf("abandoned transactions: %+v", sys.Metrics())
+	}
+}
+
+// TestFacadeClose verifies Close drains the OLAP pool and later queries
+// fail instead of hanging.
+func TestFacadeClose(t *testing.T) {
+	sys, db := newSystem(t)
+	if _, err := sys.Query(Q6(db)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if sys.Metrics().OLAPPoolSize != 0 {
+		t.Fatalf("pool size = %d after Close", sys.Metrics().OLAPPoolSize)
+	}
+	if _, err := sys.Query(Q6(db)); err == nil {
+		t.Fatal("query after Close must fail")
 	}
 }

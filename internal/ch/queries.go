@@ -262,8 +262,10 @@ func (db *DB) QuerySet() []olap.Query {
 	return []olap.Query{&Q1{DB: db}, &Q6{DB: db}, &Q19{DB: db}}
 }
 
-// SortResult orders result rows by their first column (test helper; the
-// engine's merge order is nondeterministic across workers).
+// SortResult orders result rows by their first column (test helper for
+// comparing results whose group emission order differs by construction;
+// the engine's own merge is deterministic — partials combine in morsel
+// order regardless of worker interleaving).
 func SortResult(r *olap.Result) {
 	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i][0] < r.Rows[j][0] })
 }

@@ -90,10 +90,18 @@ func (w *Words) Slice(lo, hi int64) []int64 {
 }
 
 // CopyRange copies rows [lo, hi) from src into w at the same positions.
+// Source cells are read atomically: the bulk ETL copy may run after a
+// later exchange cycle re-activated the source instance (a batch reusing
+// its snapshot set), where transactions update cells in place. Row-level
+// consistency of concurrently updated rows is the caller's concern — the
+// update-indication bits keep such rows fresh for the next ETL.
 func (w *Words) CopyRange(src *Words, lo, hi int64) {
 	w.ensure(hi)
 	src.Scan(lo, hi, func(vals []int64, base int64) {
 		dst := w.chunk(int(base / ChunkSize))
-		copy(dst[base%ChunkSize:int64(base%ChunkSize)+int64(len(vals))], vals)
+		off := base % ChunkSize
+		for j := range vals {
+			dst[off+int64(j)] = atomic.LoadInt64(&vals[j])
+		}
 	})
 }

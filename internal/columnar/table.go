@@ -59,6 +59,11 @@ type Table struct {
 	// it drives Nfq/Nft freshness accounting and delta-ETL.
 	dirtyOLAP *bitset.Atomic
 
+	// updates counts lifetime in-place cell updates. Insert-only tables
+	// stay at zero, which lets the RDE skip scan/switch exclusion for
+	// them: appends are chunk-stable and row-disjoint from any scan.
+	updates atomic.Int64
+
 	epoch atomic.Uint64
 
 	appendMu sync.Mutex // serializes row allocation across committing txns
@@ -184,6 +189,7 @@ func (t *Table) UpdateCell(row int64, col int, v int64, ts uint64) {
 	in.cols[col].Store(row, v)
 	in.dirty.Set(int(row))
 	t.dirtyOLAP.Set(int(row))
+	t.updates.Add(1)
 	t.rowTS.Store(row, int64(ts))
 	t.statsMu.Lock()
 	t.stats[a][col].HasUpdates = true
@@ -203,6 +209,10 @@ func (t *Table) ReadActive(row int64, col int) int64 {
 
 // RowTS returns the commit timestamp of the row's newest version.
 func (t *Table) RowTS(row int64) uint64 { return uint64(t.rowTS.Load(row)) }
+
+// UpdateCount returns the lifetime number of in-place cell updates; zero
+// means the table has only ever been appended to.
+func (t *Table) UpdateCount() int64 { return t.updates.Load() }
 
 // SwitchResult describes the outcome of an active-instance switch.
 type SwitchResult struct {

@@ -8,14 +8,15 @@ import (
 // Metrics collects a consistent observability snapshot from every engine.
 func (s *System) Metrics() metrics.Snapshot {
 	snap := metrics.Snapshot{
-		Commits:     s.OLTPE.Manager().Commits(),
-		Aborts:      s.OLTPE.Manager().Aborts(),
-		WorkerCount: s.OLTPE.Workers().Placement().Total(),
-		Retried:     s.OLTPE.Workers().Retried(),
-		Failed:      s.OLTPE.Workers().Failed(),
-		State:       s.Sched.State().String(),
-		OLTPCores:   s.Ledger.CountTotal(topology.OLTP),
-		OLAPCores:   s.Ledger.CountTotal(topology.OLAP),
+		Commits:      s.OLTPE.Manager().Commits(),
+		Aborts:       s.OLTPE.Manager().Aborts(),
+		WorkerCount:  s.OLTPE.Workers().Placement().Total(),
+		Retried:      s.OLTPE.Workers().Retried(),
+		Failed:       s.OLTPE.Workers().Failed(),
+		State:        s.Sched.State().String(),
+		OLTPCores:    s.Ledger.CountTotal(topology.OLTP),
+		OLAPCores:    s.Ledger.CountTotal(topology.OLAP),
+		OLAPPoolSize: s.OLAPE.PoolSize(),
 	}
 	tables := s.OLTPE.Tables()
 	snap.Tables = len(tables)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/olap"
@@ -50,6 +51,12 @@ type System struct {
 	OLAPE  *olap.Engine
 	X      *rde.Exchange
 	Sched  *Scheduler
+
+	// admitMu serializes the per-query admission protocol — switch+sync,
+	// freshness measurement, state migration, ETL and access-path build —
+	// while executions proceed concurrently on the shared OLAP worker
+	// pool once admitted.
+	admitMu sync.Mutex
 }
 
 // NewSystem bootstraps a system in state S2: each engine owns its socket,
@@ -78,15 +85,26 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		X:      rde.New(ledger, model, oltpE, olapE, cfg.OLTPSocket, cfg.OLAPSocket),
 		Sched:  sched,
 	}
+	// Every migration — from RunQuery or anyone calling Sched.MigrateTo —
+	// resizes both worker pools immediately, so the OLAP pool sheds or
+	// gains workers while queries are still in flight. The callback
+	// receives the migration's own placements (and runs under the
+	// scheduler lock), so concurrent migrations apply in order.
+	sched.OnMigrate(func(_ State, oltpP, olapP topology.Placement) {
+		s.OLTPE.Workers().SetPlacement(oltpP)
+		s.OLAPE.SetPlacement(olapP)
+	})
 	s.ApplyPlacements()
 	return s, nil
 }
 
 // ApplyPlacements pushes the ledger's current core distribution into both
-// engines' worker managers (the enforcement half of Algorithm 1).
+// engines' worker managers (the enforcement half of Algorithm 1), as one
+// consistent snapshot.
 func (s *System) ApplyPlacements() {
-	s.OLTPE.Workers().SetPlacement(s.Sched.OLTPPlacement())
-	s.OLAPE.SetPlacement(s.Sched.OLAPPlacement())
+	oltpP, olapP := s.Sched.Placements()
+	s.OLTPE.Workers().SetPlacement(oltpP)
+	s.OLAPE.SetPlacement(olapP)
 }
 
 // scale applies the byte-scale emulation factor.
@@ -121,7 +139,13 @@ type QueryOptions struct {
 	// Batch marks the query as part of a batch (Algorithm 2's QueryBatch).
 	Batch bool
 	// SkipSwitch reuses the previous snapshot instead of switching the
-	// active instance (subsequent queries of a batch).
+	// active instance (subsequent queries of a batch). A reused snapshot
+	// outlives exchange cycles other queries run in the meantime, so a
+	// SkipSwitch query must read the OLAP replica — the Batch flag's S2
+	// path, which the facade's QueryBatch always takes. Combining
+	// SkipSwitch with a forced snapshot-reading state (S1/S3) while other
+	// queries run concurrently would scan an instance a later switch has
+	// re-activated for transaction writes.
 	SkipSwitch bool
 }
 
@@ -163,10 +187,83 @@ type QueryReport struct {
 	ScanUsage costmodel.Usage
 }
 
+// admission is the outcome of the serialized scheduling phase: everything
+// a query needs to execute and be charged for.
+type admission struct {
+	set         *rde.SnapshotSet
+	src         olap.Source
+	state       State
+	method      rde.AccessMethod
+	fresh       rde.Freshness
+	syncSeconds float64
+	etlSeconds  float64
+	etlBytes    int64
+	oltpPlace   topology.Placement
+	olapPlace   topology.Placement
+	// release drops the fact table's scan pin; call it when the
+	// execution finishes.
+	release func()
+}
+
+// admitQuery runs the per-query protocol head under the admission lock:
+// switch and sync the OLTP instances, measure freshness, decide and
+// migrate state (Algorithms 1+2), optionally ETL, and build the access
+// path. Placements are snapshotted under the same lock so the cost model
+// charges the layout this query was admitted with, even when a concurrent
+// query migrates the system afterwards.
+func (s *System) admitQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (admission, error) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+
+	adm := admission{set: snap}
+	tables := s.OLTPE.Tables()
+	if adm.set == nil || !opt.SkipSwitch {
+		adm.set = s.X.SwitchAndSync(tables)
+		adm.syncSeconds = adm.set.SyncSeconds * s.Cfg.ByteScale
+	}
+	factSnap := adm.set.Snap(q.FactTable())
+	if factSnap == nil {
+		return adm, fmt.Errorf("core: no snapshot for fact table %q", q.FactTable())
+	}
+
+	adm.fresh = s.X.MeasureFreshness(tables, q.FactTable(), len(q.Columns()))
+
+	adm.state = s.Sched.Decide(adm.fresh, opt.Batch)
+	if opt.ForceState != nil {
+		adm.state = *opt.ForceState
+	}
+	s.Sched.MigrateTo(adm.state) // OnMigrate resizes both worker pools
+	// One consistent snapshot for all of this query's cost charging; a
+	// concurrent migration can change the layout afterwards, but can
+	// never hand the model a half-applied one.
+	adm.oltpPlace, adm.olapPlace = s.Sched.Placements()
+
+	if adm.state == S2 {
+		etl := s.X.ETL(adm.set)
+		adm.etlBytes = etl.Bytes
+		adm.etlSeconds = s.Model.ETLTime(s.scale(etl.Bytes), adm.olapPlace.On(s.Cfg.OLAPSocket))
+	}
+
+	adm.method = s.chooseMethod(adm.state, adm.fresh)
+	if opt.ForceMethod != nil {
+		adm.method = *opt.ForceMethod
+	}
+	adm.src = s.X.SourceFor(adm.method, factSnap)
+	// Pin the fact table against snapshot re-activation and in-place ETL
+	// before admission ends: every writer cycle (query admissions,
+	// PinnedSnapshot) serializes on admitMu, so no switch can slip in
+	// between this RLock and the execution it protects.
+	adm.release = s.X.BeginScan(q.FactTable())
+	return adm, nil
+}
+
 // RunQuery drives the full per-query protocol of §3.4: switch and sync the
 // OLTP instances, measure freshness, decide and migrate state (Algorithms
 // 1+2), optionally ETL, build the access path, execute for real, and
-// charge simulated time for every phase.
+// charge simulated time for every phase. Admission is serialized; the
+// execution itself runs as a task on the shared OLAP worker pool, so
+// concurrent RunQuery callers interleave their morsels on the same
+// workers and scheduler migrations resize the pool mid-query.
 func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
 	if q == nil {
 		return QueryReport{}, snap, fmt.Errorf("core: nil query")
@@ -178,89 +275,64 @@ func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet)
 			return QueryReport{}, snap, err
 		}
 	}
-	tables := s.OLTPE.Tables()
 
-	set := snap
-	var syncSeconds float64
-	if set == nil || !opt.SkipSwitch {
-		set = s.X.SwitchAndSync(tables)
-		syncSeconds = set.SyncSeconds * s.Cfg.ByteScale
-	}
-	factSnap := set.Snap(q.FactTable())
-	if factSnap == nil {
-		return QueryReport{}, set, fmt.Errorf("core: no snapshot for fact table %q", q.FactTable())
-	}
-
-	fresh := s.X.MeasureFreshness(tables, q.FactTable(), len(q.Columns()))
-
-	st := s.Sched.Decide(fresh, opt.Batch)
-	if opt.ForceState != nil {
-		st = *opt.ForceState
-	}
-	s.Sched.MigrateTo(st)
-	s.ApplyPlacements()
-
-	var etlSeconds float64
-	var etlBytes int64
-	if st == S2 {
-		etl := s.X.ETL(set)
-		etlBytes = etl.Bytes
-		olapCores := s.Ledger.Count(s.Cfg.OLAPSocket, topology.OLAP)
-		etlSeconds = s.Model.ETLTime(s.scale(etl.Bytes), olapCores)
-	}
-
-	method := s.chooseMethod(st, fresh)
-	if opt.ForceMethod != nil {
-		method = *opt.ForceMethod
-	}
-	src := s.X.SourceFor(method, factSnap)
-
-	res, stats, err := s.OLAPE.Execute(q, src)
+	adm, err := s.admitQuery(q, opt, snap)
 	if err != nil {
-		return QueryReport{}, set, err
+		return QueryReport{}, adm.set, err
 	}
 
-	oltpPlace := s.Sched.OLTPPlacement()
+	// The scan pin taken at admission holds through the execution:
+	// switches and ETLs that would overwrite cells this scan reads wait
+	// for release (no-op contention for insert-only fact tables).
+	res, stats, err := s.OLAPE.Execute(q, adm.src)
+	adm.release()
+	if err != nil {
+		return QueryReport{}, adm.set, err
+	}
+
 	base := s.Model.OLTPThroughput(costmodel.OLTPLoad{
-		Workers: oltpPlace, HomeSocket: s.Cfg.OLTPSocket,
+		Workers: adm.oltpPlace, HomeSocket: s.Cfg.OLTPSocket,
 	})
 	// Broadcast build sides come from dimension tables, whose size is fixed
 	// by the benchmark (items is 100k at every scale factor), so they are
-	// not subject to the byte-scale emulation.
+	// not subject to the byte-scale emulation. The measured stolen bytes
+	// tell the model how much payload actually crossed sockets under work
+	// stealing, replacing a purely modeled attribution.
 	scan := s.Model.OLAPScan(costmodel.ScanRequest{
-		Class:          q.Class(),
-		BytesAt:        s.scaleAll(stats.BytesAt),
-		Workers:        s.Sched.OLAPPlacement(),
-		Background:     base.Usage,
-		BroadcastBytes: stats.BuildBytes,
+		Class:                 q.Class(),
+		BytesAt:               s.scaleAll(stats.BytesAt),
+		Workers:               adm.olapPlace,
+		Background:            base.Usage,
+		BroadcastBytes:        stats.BuildBytes,
+		MeasuredRemoteBytesAt: s.scaleAll(stats.StolenBytesAt),
 	})
 	during := s.Model.OLTPThroughput(costmodel.OLTPLoad{
-		Workers: oltpPlace, HomeSocket: s.Cfg.OLTPSocket, Background: scan.Usage,
+		Workers: adm.oltpPlace, HomeSocket: s.Cfg.OLTPSocket, Background: scan.Usage,
 	})
 
 	rep := QueryReport{
 		Query:           q.Name(),
-		State:           st,
-		Method:          method,
+		State:           adm.state,
+		Method:          adm.method,
 		ExecSeconds:     scan.Seconds,
-		ETLSeconds:      etlSeconds,
-		SyncSeconds:     syncSeconds,
+		ETLSeconds:      adm.etlSeconds,
+		SyncSeconds:     adm.syncSeconds,
 		OLTPBaselineTPS: base.TPS,
 		OLTPDuringTPS:   during.TPS,
-		Nfq:             fresh.Nfq,
-		Nft:             fresh.Nft,
-		FreshRate:       fresh.Rate,
+		Nfq:             adm.fresh.Nfq,
+		Nft:             adm.fresh.Nft,
+		FreshRate:       adm.fresh.Rate,
 		Result:          res,
 		Stats:           stats,
 		CrossBytes:      scan.CrossBytes,
-		ETLBytes:        etlBytes,
+		ETLBytes:        adm.etlBytes,
 		ScanUsage:       scan.Usage,
 	}
 	rep.ResponseSeconds = rep.ExecSeconds + rep.ETLSeconds
 	if s.Sched.Config().ChargeSyncToQuery {
-		rep.ResponseSeconds += syncSeconds
+		rep.ResponseSeconds += adm.syncSeconds
 	}
-	return rep, set, nil
+	return rep, adm.set, nil
 }
 
 // chooseMethod derives the access path from the state (§3.4): S2 reads the
@@ -283,10 +355,13 @@ func (s *System) chooseMethod(st State, fresh rde.Freshness) rde.AccessMethod {
 }
 
 // OLTPThroughputNow reports the modeled transactional throughput with the
-// current placement and no analytical interference.
+// current placement and no analytical interference. The placement is read
+// under the scheduler lock so a concurrent migration can't hand the model
+// a half-applied layout.
 func (s *System) OLTPThroughputNow() float64 {
+	oltpP, _ := s.Sched.Placements()
 	res := s.Model.OLTPThroughput(costmodel.OLTPLoad{
-		Workers:    s.Sched.OLTPPlacement(),
+		Workers:    oltpP,
 		HomeSocket: s.Cfg.OLTPSocket,
 	})
 	return res.TPS
@@ -298,4 +373,25 @@ func (s *System) OLTPThroughputNow() float64 {
 // corresponds to a simulated interval.
 func (s *System) InjectTransactions(n int) {
 	s.OLTPE.Workers().ExecuteBatch(n)
+}
+
+// Close shuts the system's worker pools down: the persistent OLAP pool's
+// goroutines drain queued morsels and exit, and the OLTP pool stops if it
+// was free-running. Queries must not be submitted after Close.
+func (s *System) Close() {
+	s.OLTPE.Workers().Stop()
+	s.OLAPE.Close()
+}
+
+// PinnedSnapshot switches and syncs the table under the same admission
+// serialization queries use, and returns its consistent snapshot pinned
+// against re-activation — no later switch or ETL can write into it until
+// release is called. Serialization readers (Checkpoint) use this so their
+// non-atomic scans can't race a concurrent query's exchange cycle.
+func (s *System) PinnedSnapshot(h *oltp.TableHandle) (*rde.Snapshot, func()) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	set := s.X.SwitchAndSync([]*oltp.TableHandle{h})
+	name := h.Table().Schema().Name
+	return set.Snap(name), s.X.BeginScan(name)
 }

@@ -1,18 +1,24 @@
 package core
 
 import (
+	"sync"
+
 	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
 )
 
 // Scheduler owns the state machine: it decides the target state per query
-// (Algorithm 2) and enforces it on the core ledger (Algorithm 1).
+// (Algorithm 2) and enforces it on the core ledger (Algorithm 1). It is
+// safe for concurrent use — queries admit and migrate from any goroutine.
 type Scheduler struct {
-	cfg    Config
 	ledger *topology.Ledger
 
 	oltpSocket, olapSocket int
-	state                  State
+
+	mu        sync.Mutex
+	cfg       Config
+	state     State
+	onMigrate func(State, topology.Placement, topology.Placement)
 }
 
 // NewScheduler builds a scheduler over the ledger. The system boots in S2,
@@ -33,7 +39,11 @@ func NewScheduler(cfg Config, ledger *topology.Ledger, oltpSocket, olapSocket in
 }
 
 // Config returns the scheduler configuration.
-func (s *Scheduler) Config() Config { return s.cfg }
+func (s *Scheduler) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
 
 // SetConfig replaces the configuration (experiments sweep α and the
 // elastic-core budget at runtime).
@@ -41,12 +51,31 @@ func (s *Scheduler) SetConfig(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.cfg = cfg
+	s.mu.Unlock()
 	return nil
 }
 
 // State returns the current system state.
-func (s *Scheduler) State() State { return s.state }
+func (s *Scheduler) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// OnMigrate registers a callback invoked by every MigrateTo with the new
+// state and the per-engine placements that migration produced — the hook
+// through which the engines' worker pools learn of placement changes the
+// moment they happen, mid-query included. The callback runs while the
+// scheduler lock is held, so concurrent migrations apply their layouts in
+// migration order and can never leave a pool sized for a stale state; it
+// must not call back into the Scheduler.
+func (s *Scheduler) OnMigrate(fn func(st State, oltp, olap topology.Placement)) {
+	s.mu.Lock()
+	s.onMigrate = fn
+	s.mu.Unlock()
+}
 
 // Decide implements Algorithm 2 — freshness-driven resource scheduling.
 // Given the measured freshness and whether the query belongs to a batch,
@@ -58,11 +87,12 @@ func (s *Scheduler) State() State { return s.state }
 //	    else:                             S1
 //	else:                                 S2 (ETL)
 func (s *Scheduler) Decide(f rde.Freshness, queryBatch bool) State {
-	if float64(f.Nfq) < s.cfg.Alpha*float64(f.Nft) && !queryBatch {
-		if !s.cfg.Elasticity {
+	cfg := s.Config()
+	if float64(f.Nfq) < cfg.Alpha*float64(f.Nft) && !queryBatch {
+		if !cfg.Elasticity {
 			return S3IS
 		}
-		if s.cfg.Mode == ModeHybrid {
+		if cfg.Mode == ModeHybrid {
 			return S3NI
 		}
 		return S1
@@ -70,10 +100,14 @@ func (s *Scheduler) Decide(f rde.Freshness, queryBatch bool) State {
 	return S2
 }
 
-// MigrateTo enforces the target state on the ledger (Algorithm 1) and
-// records it. Migrating to the current state re-applies the layout, which
-// is idempotent.
+// MigrateTo enforces the target state on the ledger (Algorithm 1), records
+// it, and notifies the OnMigrate listener so the engine worker pools
+// resize immediately — running queries shed or gain workers mid-flight.
+// Migrating to the current state re-applies the layout, which is
+// idempotent.
 func (s *Scheduler) MigrateTo(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch st {
 	case S1:
 		s.migrateS1(s.cfg.ElasticCores)
@@ -85,6 +119,11 @@ func (s *Scheduler) MigrateTo(st State) {
 		s.migrateS3(false, s.cfg.ElasticCores)
 	}
 	s.state = st
+	if s.onMigrate != nil {
+		// Still under s.mu: the layout this migration wrote is applied
+		// before any later migration can overwrite it.
+		s.onMigrate(st, s.ledger.PlacementOf(topology.OLTP), s.ledger.PlacementOf(topology.OLAP))
+	}
 }
 
 // OLTPPlacement returns the OLTP engine's core allocation.
@@ -95,4 +134,15 @@ func (s *Scheduler) OLTPPlacement() topology.Placement {
 // OLAPPlacement returns the OLAP engine's core allocation.
 func (s *Scheduler) OLAPPlacement() topology.Placement {
 	return s.ledger.PlacementOf(topology.OLAP)
+}
+
+// Placements returns both engines' allocations as one consistent
+// snapshot: migrations mutate the ledger core-by-core while holding the
+// scheduler lock, so reading under the same lock can never observe a
+// half-applied layout (unlike two bare OLTPPlacement/OLAPPlacement calls
+// racing a concurrent MigrateTo).
+func (s *Scheduler) Placements() (oltp, olap topology.Placement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.PlacementOf(topology.OLTP), s.ledger.PlacementOf(topology.OLAP)
 }

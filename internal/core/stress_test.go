@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"elastichtap/internal/ch"
 )
@@ -53,5 +55,89 @@ func TestStressContendedWorkers(t *testing.T) {
 	}
 	if len(errs) > 0 {
 		t.Fatalf("%d errors", len(errs))
+	}
+}
+
+// TestStressQueriesRunAndMigrationsConcurrently is the elasticity torture
+// test: analytical queries, transaction injection and repeated scheduler
+// migrations all run at once. Admission is serialized, executions share
+// the OLAP pool, and every MigrateTo resizes both pools mid-flight. The
+// test requires no deadlock, no errors, and Q6 counts that never shrink
+// (the NewOrder-only mix is insert-only).
+func TestStressQueriesRunAndMigrationsConcurrently(t *testing.T) {
+	sys, db := newTestSystem(t)
+	sys.PrimeReplicas()
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Transaction injector, paced so ETL volume stays bounded.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.InjectTransactions(3)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Migration churn: cycle every state, including re-entering the
+	// current one, from outside any query.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		states := []State{S1, S2, S3IS, S3NI, S2, S1}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.Sched.MigrateTo(states[i%len(states)])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var qg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for g := 0; g < 3; g++ {
+		qg.Add(1)
+		go func(g int) {
+			defer qg.Done()
+			prev := -1.0
+			for i := 0; i < 6; i++ {
+				opt := QueryOptions{}
+				if i%2 == 1 {
+					opt.ForceState = ForcedState([]State{S1, S2, S3IS, S3NI}[(g+i)%4])
+				}
+				rep, _, err := sys.RunQuery(&ch.Q6{DB: db}, opt, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				count := rep.Result.Rows[0][1]
+				if count < prev {
+					errCh <- fmt.Errorf("goroutine %d: Q6 count shrank %v -> %v", g, prev, count)
+					return
+				}
+				prev = count
+				if rep.Stats.Workers < 1 {
+					errCh <- fmt.Errorf("goroutine %d: no workers participated: %+v", g, rep.Stats)
+					return
+				}
+			}
+		}(g)
+	}
+	qg.Wait()
+	close(stop)
+	bg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }

@@ -101,6 +101,22 @@ type ScanRequest struct {
 	// BroadcastBytes is extra data replicated over the interconnect to every
 	// worker socket before probing (hash-join build side, Q19).
 	BroadcastBytes int64
+	// MeasuredRemoteBytesAt[s], when non-nil, is the measured payload homed
+	// on socket s that remote workers actually consumed (the OLAP pool's
+	// cross-socket work stealing). It informs the cross-traffic attribution
+	// — CrossBytes reports at least the measured volume — while the
+	// completion-time search stays on the modeled locality-aware routing,
+	// keeping simulated durations deterministic.
+	MeasuredRemoteBytesAt []int64
+}
+
+// MeasuredRemoteBytes returns the total measured cross-socket payload.
+func (r ScanRequest) MeasuredRemoteBytes() int64 {
+	var t int64
+	for _, b := range r.MeasuredRemoteBytesAt {
+		t += b
+	}
+	return t
 }
 
 // TotalBytes returns the payload size of the request.
@@ -178,6 +194,12 @@ func (m *Model) OLAPScan(req ScanRequest) ScanResult {
 			u.SocketBW[s] = clamp01(float64(int64OrZero(req.BytesAt, s)) / t / m.topo.LocalBW)
 		}
 		u.Interconnect = clamp01(float64(cross) / t / m.icBW())
+	}
+	// Attribute at least the measured stolen volume to the interconnect:
+	// work stealing may route more payload across sockets than the model's
+	// optimal split would need.
+	if measured := req.MeasuredRemoteBytes(); measured > cross {
+		cross = measured
 	}
 	return ScanResult{Seconds: t + bcast, Usage: u, CrossBytes: cross + bcastBytes}
 }

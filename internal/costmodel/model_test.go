@@ -218,3 +218,42 @@ func TestParamsValidate(t *testing.T) {
 		t.Fatal("missing rates must fail")
 	}
 }
+
+func TestMeasuredStealingInformsCrossBytes(t *testing.T) {
+	m := testModel()
+	// All payload local to socket 0, workers co-located: the model routes
+	// nothing across sockets on its own.
+	req := ScanRequest{
+		Class:   ScanReduce,
+		BytesAt: []int64{1 << 30, 0},
+		Workers: place(14, 0),
+	}
+	base := m.OLAPScan(req)
+	if base.CrossBytes != 0 {
+		t.Fatalf("co-located scan modeled cross bytes: %d", base.CrossBytes)
+	}
+	// The pool measured stolen morsels anyway (e.g. a mid-query resize
+	// moved workers to socket 1): CrossBytes reports the measured volume,
+	// while the simulated duration stays on the deterministic model.
+	req.MeasuredRemoteBytesAt = []int64{128 << 20, 0}
+	meas := m.OLAPScan(req)
+	if meas.CrossBytes != 128<<20 {
+		t.Fatalf("cross bytes = %d, want measured 128MiB", meas.CrossBytes)
+	}
+	if meas.Seconds != base.Seconds {
+		t.Fatalf("measured attribution changed the duration: %v != %v",
+			meas.Seconds, base.Seconds)
+	}
+	// When the model already routes more than was measured, the larger
+	// modeled figure wins.
+	req2 := ScanRequest{
+		Class:                 ScanReduce,
+		BytesAt:               []int64{1 << 30, 0},
+		Workers:               place(0, 14),
+		MeasuredRemoteBytesAt: []int64{1024, 0},
+	}
+	remote := m.OLAPScan(req2)
+	if remote.CrossBytes <= 1024 {
+		t.Fatalf("remote scan must cross the interconnect: %d", remote.CrossBytes)
+	}
+}

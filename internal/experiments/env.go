@@ -93,6 +93,11 @@ func NewEnv(opt Options) (*Env, error) {
 	return &Env{Opt: opt, Sys: sys, DB: db}, nil
 }
 
+// Close releases the system's worker pools. Sweep drivers that build one
+// Env per data point must call it, or each point leaks its parked OLAP
+// pool goroutines for the life of the process.
+func (e *Env) Close() { e.Sys.Close() }
+
 // TxnScale converts emulated transaction counts into actually executed
 // ones, preserving the fresh-fraction trajectory.
 func (e *Env) TxnScale() float64 { return e.Opt.SF / e.Opt.EmulateSF }

@@ -52,6 +52,7 @@ func figure1ETL(opt Options, freq int) (Fig1Row, error) {
 	if err != nil {
 		return Fig1Row{}, err
 	}
+	defer env.Close()
 	env.InjectFor(1.0, env.Sys.OLTPThroughputNow())
 
 	row := Fig1Row{Mode: "ETL", QueriesPerSeq: freq}
@@ -88,6 +89,7 @@ func figure1CoW(opt Options, freq int) (Fig1Row, error) {
 	if err != nil {
 		return Fig1Row{}, err
 	}
+	defer env.Close()
 	env.InjectFor(1.0, env.Sys.OLTPThroughputNow())
 
 	row := Fig1Row{Mode: "CoW", QueriesPerSeq: freq}

@@ -41,20 +41,23 @@ func Figure3c(opt Options) ([]Fig3cRow, error) {
 func sensitivitySweep(opt Options, st core.State, maxCPUs int, warmupSimSecs float64, pick func(*Env) olap.Query) ([]Fig3aRow, error) {
 	var rows []Fig3aRow
 	for x := 0; x <= maxCPUs; x += 2 {
-		env, err := NewEnv(opt)
-		if err != nil {
-			return nil, err
-		}
-		if err := env.allowTrading(maxCPUs); err != nil {
-			return nil, err
-		}
-		if err := env.setElasticCores(x); err != nil {
-			return nil, err
-		}
-		if warmupSimSecs > 0 {
-			env.InjectFor(warmupSimSecs, env.Sys.OLTPThroughputNow())
-		}
-		row, err := sensitivityPoint(env, pick(env), st, 16)
+		row, err := func() (Fig3aRow, error) {
+			env, err := NewEnv(opt)
+			if err != nil {
+				return Fig3aRow{}, err
+			}
+			defer env.Close()
+			if err := env.allowTrading(maxCPUs); err != nil {
+				return Fig3aRow{}, err
+			}
+			if err := env.setElasticCores(x); err != nil {
+				return Fig3aRow{}, err
+			}
+			if warmupSimSecs > 0 {
+				env.InjectFor(warmupSimSecs, env.Sys.OLTPThroughputNow())
+			}
+			return sensitivityPoint(env, pick(env), st, 16)
+		}()
 		if err != nil {
 			return nil, err
 		}
@@ -109,37 +112,44 @@ func Figure3b(opt Options) ([]Fig3bRow, error) {
 	const interBatchSimSecs = 1.0
 	var rows []Fig3bRow
 	for _, batch := range []int{1, 2, 4, 8, 16} {
-		env, err := NewEnv(opt)
+		row, err := func() (Fig3bRow, error) {
+			env, err := NewEnv(opt)
+			if err != nil {
+				return Fig3bRow{}, err
+			}
+			defer env.Close()
+			row := Fig3bRow{BatchSize: batch}
+			var tputSum float64
+			var tputN int
+			executed := 0
+			for executed < totalQueries {
+				// Fresh data accumulated since the previous batch arrived.
+				env.InjectFor(interBatchSimSecs, env.Sys.OLTPThroughputNow())
+				var set *rde.SnapshotSet
+				for i := 0; i < batch && executed < totalQueries; i++ {
+					o := core.QueryOptions{ForceState: core.ForcedState(core.S2), Batch: true}
+					if set != nil {
+						o.SkipSwitch = true
+					}
+					rep, out, err := env.Sys.RunQuery(env.Q6(), o, set)
+					if err != nil {
+						return Fig3bRow{}, err
+					}
+					set = out
+					row.QueryExecSeconds += rep.ExecSeconds
+					row.DataTransferSecs += rep.ETLSeconds
+					row.BytesTransferred += rep.ETLBytes
+					tputSum += rep.OLTPDuringTPS
+					tputN++
+					executed++
+				}
+			}
+			row.OLTPTputMTPS = tputSum / float64(tputN) / 1e6
+			return row, nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		row := Fig3bRow{BatchSize: batch}
-		var tputSum float64
-		var tputN int
-		executed := 0
-		for executed < totalQueries {
-			// Fresh data accumulated since the previous batch arrived.
-			env.InjectFor(interBatchSimSecs, env.Sys.OLTPThroughputNow())
-			var set *rde.SnapshotSet
-			for i := 0; i < batch && executed < totalQueries; i++ {
-				o := core.QueryOptions{ForceState: core.ForcedState(core.S2), Batch: true}
-				if set != nil {
-					o.SkipSwitch = true
-				}
-				rep, out, err := env.Sys.RunQuery(env.Q6(), o, set)
-				if err != nil {
-					return nil, err
-				}
-				set = out
-				row.QueryExecSeconds += rep.ExecSeconds
-				row.DataTransferSecs += rep.ETLSeconds
-				row.BytesTransferred += rep.ETLBytes
-				tputSum += rep.OLTPDuringTPS
-				tputN++
-				executed++
-			}
-		}
-		row.OLTPTputMTPS = tputSum / float64(tputN) / 1e6
 		rows = append(rows, row)
 	}
 	return rows, nil

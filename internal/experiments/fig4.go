@@ -33,10 +33,12 @@ func Figure4(opt Options) ([]Fig4Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer hybrid.Close()
 	s2env, err := NewEnv(opt)
 	if err != nil {
 		return nil, err
 	}
+	defer s2env.Close()
 	var rows []Fig4Row
 	const points = 12
 	const stepSimSecs = 12.0

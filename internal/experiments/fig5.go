@@ -90,6 +90,7 @@ func runSchedule(opt Options, sched Schedule, sequences int) (Fig5Series, error)
 	if err != nil {
 		return Fig5Series{}, err
 	}
+	defer env.Close()
 	cfg := env.Sys.Sched.Config()
 	var force *core.State
 	switch sched {

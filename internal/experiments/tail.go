@@ -22,34 +22,41 @@ type TailRow struct {
 func TailLatency(opt Options) ([]TailRow, error) {
 	var rows []TailRow
 	for _, st := range []core.State{core.S2, core.S3IS, core.S3NI, core.S1} {
-		env, err := NewEnv(opt)
+		row, err := func() (TailRow, error) {
+			env, err := NewEnv(opt)
+			if err != nil {
+				return TailRow{}, err
+			}
+			defer env.Close()
+			if err := env.allowTrading(14); err != nil {
+				return TailRow{}, err
+			}
+			env.InjectFor(10, env.Sys.OLTPThroughputNow())
+			rep, _, err := env.Sys.RunQuery(env.Q6(), core.QueryOptions{
+				ForceState: core.ForcedState(st),
+			}, nil)
+			if err != nil {
+				return TailRow{}, err
+			}
+			tail := env.Sys.Model.OLTPTailLatency(costmodel.OLTPLoad{
+				Workers:    env.Sys.Sched.OLTPPlacement(),
+				HomeSocket: env.Sys.Cfg.OLTPSocket,
+				Background: rep.ScanUsage,
+			})
+			return TailRow{
+				State:       st.String(),
+				MeanMicros:  tail.MeanSeconds * 1e6,
+				P50Micros:   tail.P50Seconds * 1e6,
+				P99Micros:   tail.P99Seconds * 1e6,
+				OLTPMTPS:    rep.OLTPDuringTPS / 1e6,
+				BusUtilPct:  100 * rep.ScanUsage.On(env.Sys.Cfg.OLTPSocket),
+				CrossTraffc: 100 * rep.ScanUsage.Interconnect,
+			}, nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		if err := env.allowTrading(14); err != nil {
-			return nil, err
-		}
-		env.InjectFor(10, env.Sys.OLTPThroughputNow())
-		rep, _, err := env.Sys.RunQuery(env.Q6(), core.QueryOptions{
-			ForceState: core.ForcedState(st),
-		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		tail := env.Sys.Model.OLTPTailLatency(costmodel.OLTPLoad{
-			Workers:    env.Sys.Sched.OLTPPlacement(),
-			HomeSocket: env.Sys.Cfg.OLTPSocket,
-			Background: rep.ScanUsage,
-		})
-		rows = append(rows, TailRow{
-			State:       st.String(),
-			MeanMicros:  tail.MeanSeconds * 1e6,
-			P50Micros:   tail.P50Seconds * 1e6,
-			P99Micros:   tail.P99Seconds * 1e6,
-			OLTPMTPS:    rep.OLTPDuringTPS / 1e6,
-			BusUtilPct:  100 * rep.ScanUsage.On(env.Sys.Cfg.OLTPSocket),
-			CrossTraffc: 100 * rep.ScanUsage.Interconnect,
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -35,6 +35,7 @@ type Snapshot struct {
 	State         string
 	OLTPCores     int
 	OLAPCores     int
+	OLAPPoolSize  int // live OLAP pool workers (tracks OLAPCores after resizes)
 	FreshnessRate float64
 }
 
@@ -48,6 +49,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"state", s.State},
 		{"oltp cores", s.OLTPCores},
 		{"olap cores", s.OLAPCores},
+		{"olap pool workers", s.OLAPPoolSize},
 		{"commits", s.Commits},
 		{"aborts", s.Aborts},
 		{"txn retries", s.Retried},

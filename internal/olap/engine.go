@@ -1,8 +1,8 @@
 package olap
 
 import (
+	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/costmodel"
@@ -18,16 +18,24 @@ type Block struct {
 	Cols [][]int64
 }
 
-// Local is per-worker executor state; Consume is called from exactly one
-// goroutine per Local, so implementations need no locking.
+// Local is per-morsel executor state; Consume is called exactly once per
+// Local, from a single goroutine, so implementations need no locking.
+// Partial states merge in morsel order, which keeps results bitwise
+// deterministic no matter which worker ran which morsel (see Exec.Merge).
 type Local interface {
 	Consume(b Block)
 }
 
-// Exec is a prepared query: it creates per-worker state and merges it into
+// Exec is a prepared query: it creates per-morsel state and merges it into
 // a final result. Implementations live with the workload definitions
 // (internal/ch) — the engine is query-agnostic, mirroring the paper's
 // plugin design.
+//
+// NewLocal is called serially at task admission, once per morsel. Merge
+// receives the locals in morsel order — ascending absolute row ranges —
+// regardless of worker interleaving or cross-socket stealing, so a Merge
+// that combines partials in slice order produces bit-identical float
+// results across runs, placements and mid-query resizes.
 type Exec interface {
 	NewLocal() Local
 	Merge(locals []Local) Result
@@ -57,32 +65,104 @@ type Result struct {
 // Stats reports what one execution actually touched.
 type Stats struct {
 	RowsScanned int64
-	// BytesAt[s] is payload read from socket s.
+	// BytesAt[s] is payload homed on socket s.
 	BytesAt []int64
 	// BuildBytes is broadcast build-side volume.
 	BuildBytes int64
-	// Workers is the number of goroutines used.
+	// Workers is the number of distinct pool workers that consumed at
+	// least one morsel — never more than the morsel count, and it grows or
+	// shrinks when the RDE engine resizes the pool mid-query.
 	Workers int
+	// Morsels is the task's total morsel count.
+	Morsels int
+	// LocalMorsels / StolenMorsels count morsels consumed by a worker on
+	// the morsel's home socket versus pulled across sockets by work
+	// stealing. These are measured, not modeled.
+	LocalMorsels, StolenMorsels int64
+	// StolenBytesAt[s] is the measured payload homed on socket s that
+	// remote workers consumed; it feeds the cost model's cross-socket
+	// attribution in place of a purely modeled split.
+	StolenBytesAt []int64
 }
 
-// Engine executes queries with a worker pool whose size and placement the
-// RDE engine adjusts (the OLAP Worker Manager, §3.3).
+// Engine executes queries with a persistent worker pool whose size and
+// placement the RDE engine adjusts while queries run (the OLAP Worker
+// Manager, §3.3). One goroutine runs per allocated core; each socket has a
+// FIFO morsel queue with socket-affine dispatch, and idle workers steal
+// from other sockets' tails. Multiple Submit callers share the pool
+// concurrently; SetPlacement resizes it incrementally and takes effect
+// mid-query.
 type Engine struct {
+	sockets int
+
 	mu        sync.Mutex
+	cond      *sync.Cond
 	placement topology.Placement
-	sockets   int
+	workers   [][]*worker     // active workers per socket; lengths track placement
+	stopping  map[int]*worker // retired workers whose goroutines are still draining
+	nlive     int             // goroutines not yet exited (active + stopping)
+	nextID    int
+	tasks     []*Task // admission order
+	closed    bool
 }
 
 // NewEngine returns an engine for a machine with the given socket count.
+// The pool starts empty; SetPlacement populates it.
 func NewEngine(sockets int) *Engine {
-	return &Engine{sockets: sockets}
+	if sockets < 1 {
+		sockets = 1
+	}
+	e := &Engine{
+		sockets:  sockets,
+		workers:  make([][]*worker, sockets),
+		stopping: map[int]*worker{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
 }
 
-// SetPlacement installs the worker pool's core allocation.
+// Sockets returns the engine's socket count.
+func (e *Engine) Sockets() int { return e.sockets }
+
+// SetPlacement resizes the worker pool to the given core allocation. The
+// resize is incremental and takes effect immediately, mid-query: sockets
+// gaining cores spawn workers that start stealing queued morsels at once;
+// sockets losing cores retire their most recently granted workers, which
+// finish their in-flight morsel and exit (a retiring worker stays on as
+// caretaker while queued morsels remain and no active worker exists, so a
+// shrink to zero can never strand a running task).
 func (e *Engine) SetPlacement(p topology.Placement) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return // Close retired the pool for good; don't spawn orphans
+	}
+	if e.placement.Equal(p) {
+		return // idempotent re-application (e.g. re-entering a state)
+	}
+	delta := e.placement.Diff(p)
+	for s := 0; s < e.sockets && s < len(delta); s++ {
+		switch {
+		case delta[s] > 0:
+			for i := 0; i < delta[s]; i++ {
+				w := &worker{e: e, socket: s, id: e.nextID}
+				e.nextID++
+				e.workers[s] = append(e.workers[s], w)
+				e.nlive++
+				go w.run()
+			}
+		case delta[s] < 0:
+			for i := 0; i < -delta[s] && len(e.workers[s]) > 0; i++ {
+				last := len(e.workers[s]) - 1
+				w := e.workers[s][last]
+				e.workers[s] = e.workers[s][:last]
+				w.stop = true
+				e.stopping[w.id] = w
+			}
+		}
+	}
 	e.placement = p.Clone()
+	e.cond.Broadcast()
 }
 
 // Placement returns the current allocation.
@@ -92,76 +172,163 @@ func (e *Engine) Placement() topology.Placement {
 	return e.placement.Clone()
 }
 
+// PoolSize returns the number of active (non-retiring) workers.
+func (e *Engine) PoolSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeWorkers()
+}
+
+func (e *Engine) activeWorkers() int {
+	n := 0
+	for _, ws := range e.workers {
+		n += len(ws)
+	}
+	return n
+}
+
+// Close retires every worker and waits for their goroutines to exit after
+// draining any queued morsels. Submitting to a closed engine fails.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	for s, ws := range e.workers {
+		for _, w := range ws {
+			w.stop = true
+			e.stopping[w.id] = w
+		}
+		e.workers[s] = nil
+	}
+	e.placement = topology.Placement{PerSocket: make([]int, e.sockets)}
+	e.cond.Broadcast()
+	for e.nlive > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
 type morsel struct {
 	part   int
 	lo, hi int64
+	socket int
 }
 
-// Execute runs the query over the source with the current worker pool and
-// returns the materialized result plus scan statistics. Work is split into
-// chunk-aligned morsels consumed by one goroutine per allocated core with
-// thread-local state, merged at the end — the paper's pipelined block
-// routing, with the NUMA effects charged separately by the cost model.
+// Execute runs the query over the source on the shared worker pool and
+// returns the materialized result plus scan statistics. It is Submit
+// followed by Wait; concurrent callers interleave their morsels on the
+// same workers.
 func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
-	if err := src.Validate(); err != nil {
+	t, err := e.Submit(q, src)
+	if err != nil {
 		return Result{}, Stats{}, err
+	}
+	return t.Wait()
+}
+
+// Submit admits a query to the pool: work splits into chunk-aligned
+// morsels enqueued on their home socket's queue, one Local is created per
+// morsel (never more — there is no state for workers that end up with
+// nothing to do), and parked workers wake. When the pool is empty at
+// admission the submitting goroutine drains the task itself during Wait,
+// so a zero placement still makes progress.
+func (e *Engine) Submit(q Query, src Source) (*Task, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
 	}
 	exec, buildBytes := q.Prepare()
 	cols := q.Columns()
 
-	workers := e.Placement().Total()
-	if workers < 1 {
-		workers = 1
+	t := &Task{
+		e:     e,
+		exec:  exec,
+		cols:  cols,
+		src:   src,
+		seen:  map[int]struct{}{},
+		queue: make([][]int, e.sockets),
+		heads: make([]int, e.sockets),
+		done:  make(chan struct{}),
 	}
-
-	var morsels []morsel
 	for pi, p := range src.Parts {
 		for lo := p.Lo; lo < p.Hi; {
 			hi := (lo/columnar.ChunkSize + 1) * columnar.ChunkSize
 			if hi > p.Hi {
 				hi = p.Hi
 			}
-			morsels = append(morsels, morsel{part: pi, lo: lo, hi: hi})
+			sock := p.Socket
+			if sock < 0 || sock >= e.sockets {
+				sock = 0
+			}
+			t.morsels = append(t.morsels, morsel{part: pi, lo: lo, hi: hi, socket: sock})
 			lo = hi
 		}
 	}
+	t.locals = make([]Local, len(t.morsels))
+	for i := range t.locals {
+		t.locals[i] = exec.NewLocal()
+	}
+	t.unclaimed = len(t.morsels)
+	t.remaining = len(t.morsels)
+	t.stats = Stats{
+		RowsScanned:   src.Rows(),
+		BytesAt:       src.BytesAt(e.sockets, len(cols)),
+		BuildBytes:    buildBytes,
+		Morsels:       len(t.morsels),
+		StolenBytesAt: make([]int64, e.sockets),
+	}
 
-	locals := make([]Local, workers)
-	for i := range locals {
-		locals[i] = exec.NewLocal()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("olap: engine closed")
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := locals[w]
-			blk := Block{Cols: make([][]int64, len(cols))}
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(morsels)) {
-					return
-				}
-				m := morsels[i]
-				p := src.Parts[m.part]
-				for k, c := range cols {
-					blk.Cols[k] = p.Data.Col(c).Slice(m.lo, m.hi)
-				}
-				blk.Base = m.lo
-				blk.N = int(m.hi - m.lo)
-				local.Consume(blk)
-			}
-		}(w)
+	for i, m := range t.morsels {
+		t.queue[m.socket] = append(t.queue[m.socket], i)
 	}
-	wg.Wait()
+	if t.remaining == 0 {
+		close(t.done)
+	} else {
+		e.tasks = append(e.tasks, t)
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	return t, nil
+}
 
-	res := exec.Merge(locals)
-	st := Stats{
-		RowsScanned: src.Rows(),
-		BytesAt:     src.BytesAt(e.sockets, len(cols)),
-		BuildBytes:  buildBytes,
-		Workers:     workers,
+// grab pops the next morsel for a worker on the given socket: oldest task
+// first, own-socket FIFO head before stealing from another socket's tail.
+// Callers hold e.mu. The returned bool reports a socket-local grab.
+func (e *Engine) grab(socket int) (*Task, int, bool) {
+	for _, t := range e.tasks {
+		if mi, ok := t.pop(socket); ok {
+			return t, mi, true
+		}
 	}
-	return res, st, nil
+	for _, t := range e.tasks {
+		if mi, ok := t.steal(socket); ok {
+			return t, mi, false
+		}
+	}
+	return nil, 0, false
+}
+
+// queuesEmpty reports whether any admitted task still has unclaimed
+// morsels. Callers hold e.mu.
+func (e *Engine) queuesEmpty() bool {
+	for _, t := range e.tasks {
+		if t.unclaimed > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// removeTask drops a completed task from the admission list. Callers hold
+// e.mu.
+func (e *Engine) removeTask(t *Task) {
+	for i, x := range e.tasks {
+		if x == t {
+			e.tasks = append(e.tasks[:i], e.tasks[i+1:]...)
+			return
+		}
+	}
 }

@@ -78,8 +78,17 @@ func TestExecuteSumSinglePart(t *testing.T) {
 	if st.BytesAt[0] != n*8 || st.BytesAt[1] != 0 {
 		t.Fatalf("bytes = %v", st.BytesAt)
 	}
-	if st.Workers != 8 {
-		t.Fatalf("workers = %d", st.Workers)
+	// 100k rows split into ceil(100000/16384) = 7 chunk-aligned morsels;
+	// participants are capped by the morsel count, not the 8-core pool.
+	if st.Morsels != 7 {
+		t.Fatalf("morsels = %d, want 7", st.Morsels)
+	}
+	if st.Workers < 1 || st.Workers > st.Morsels {
+		t.Fatalf("workers = %d, want within [1,%d]", st.Workers, st.Morsels)
+	}
+	if st.LocalMorsels+st.StolenMorsels != int64(st.Morsels) {
+		t.Fatalf("morsel accounting: local %d + stolen %d != %d",
+			st.LocalMorsels, st.StolenMorsels, st.Morsels)
 	}
 }
 

@@ -1,0 +1,158 @@
+package olap
+
+// Task is one admitted query execution sharing the engine's worker pool.
+// Submit returns it immediately; Wait blocks until every morsel is
+// consumed and merges the per-morsel partials in morsel order.
+type Task struct {
+	e    *Engine
+	exec Exec
+	cols []int
+	src  Source
+
+	morsels []morsel
+	locals  []Local
+
+	// All fields below are guarded by e.mu.
+	queue     [][]int // per-socket FIFO of morsel indexes
+	heads     []int   // next FIFO position per socket (owner pops head)
+	unclaimed int     // morsels still queued
+	remaining int     // morsels not yet consumed
+	seen      map[int]struct{}
+	inline    int // pseudo-worker ids handed to inline drainers
+	stats     Stats
+	done      chan struct{}
+}
+
+// pop takes the head of the socket's own queue. Callers hold e.mu.
+func (t *Task) pop(socket int) (int, bool) {
+	if socket < 0 || socket >= len(t.queue) {
+		return 0, false
+	}
+	q := t.queue[socket]
+	if t.heads[socket] >= len(q) {
+		return 0, false
+	}
+	mi := q[t.heads[socket]]
+	t.heads[socket]++
+	t.unclaimed--
+	return mi, true
+}
+
+// steal takes the tail of the fullest other socket's queue — the classic
+// deque split that keeps thieves away from the owner's sequential front.
+// Callers hold e.mu.
+func (t *Task) steal(thief int) (int, bool) {
+	victim, best := -1, 0
+	for s := range t.queue {
+		if s == thief {
+			continue
+		}
+		if r := len(t.queue[s]) - t.heads[s]; r > best {
+			victim, best = s, r
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	q := t.queue[victim]
+	mi := q[len(q)-1]
+	t.queue[victim] = q[:len(q)-1]
+	t.unclaimed--
+	return mi, true
+}
+
+// popAny takes the head of any socket queue, for inline drainers with no
+// home socket. Callers hold e.mu.
+func (t *Task) popAny() (int, bool) {
+	for s := range t.queue {
+		if mi, ok := t.pop(s); ok {
+			return mi, true
+		}
+	}
+	return 0, false
+}
+
+// noteClaim records who consumed a morsel and whether the grab was
+// socket-local, feeding the measured locality statistics. A negative
+// workerSocket (inline drainer) counts as local: with no placement there
+// is no interconnect to charge. Callers hold e.mu.
+func (t *Task) noteClaim(workerID, mi int, local bool) {
+	t.seen[workerID] = struct{}{}
+	m := t.morsels[mi]
+	if local {
+		t.stats.LocalMorsels++
+	} else {
+		t.stats.StolenMorsels++
+		t.stats.StolenBytesAt[m.socket] += m.bytes(len(t.cols))
+	}
+}
+
+// bytes is the morsel's payload volume across the scanned columns.
+func (m morsel) bytes(ncols int) int64 {
+	return (m.hi - m.lo) * int64(ncols) * 8
+}
+
+// runMorsel consumes one morsel into its dedicated Local. Called without
+// e.mu; the morsel index was claimed exclusively, so no other goroutine
+// touches locals[mi].
+func (t *Task) runMorsel(mi int) {
+	m := t.morsels[mi]
+	p := t.src.Parts[m.part]
+	blk := Block{Base: m.lo, N: int(m.hi - m.lo), Cols: make([][]int64, len(t.cols))}
+	for k, c := range t.cols {
+		blk.Cols[k] = p.Data.Col(c).Slice(m.lo, m.hi)
+	}
+	t.locals[mi].Consume(blk)
+}
+
+// finishMorsel retires one consumed morsel; the last one completes the
+// task. Callers hold e.mu.
+func (t *Task) finishMorsel(e *Engine) {
+	t.remaining--
+	if t.remaining == 0 {
+		t.stats.Workers = len(t.seen)
+		e.removeTask(t)
+		close(t.done)
+	}
+}
+
+// drain runs queued morsels of this task on the submitting goroutine —
+// the fallback worker when the pool is empty at admission. Morsels
+// claimed by pool workers that appeared mid-drain are left to them.
+func (t *Task) drain() {
+	e := t.e
+	e.mu.Lock()
+	t.inline++
+	id := -t.inline // one pseudo-worker id per draining goroutine
+	for {
+		mi, ok := t.popAny()
+		if !ok {
+			break
+		}
+		t.noteClaim(id, mi, true)
+		e.mu.Unlock()
+		t.runMorsel(mi)
+		e.mu.Lock()
+		t.finishMorsel(e)
+	}
+	e.mu.Unlock()
+}
+
+// Wait blocks until the task completes and returns the merged result and
+// measured statistics. The merge passes locals in morsel order, so
+// results are bitwise deterministic regardless of worker interleaving,
+// stealing, or mid-query pool resizes.
+func (t *Task) Wait() (Result, Stats, error) {
+	e := t.e
+	e.mu.Lock()
+	// Help drain only when no pool goroutine is alive to do it: a pool
+	// that merely shrank to zero mid-query still has a caretaker (see
+	// Engine.mayExit), and a later SetPlacement can always add workers.
+	inline := t.unclaimed > 0 && e.nlive == 0
+	e.mu.Unlock()
+	if inline {
+		t.drain()
+	}
+	<-t.done
+	return t.exec.Merge(t.locals), t.stats, nil
+}

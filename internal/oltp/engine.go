@@ -133,6 +133,10 @@ func (wm *WorkerManager) SetWorkload(w Workload) {
 // running, it is restarted with the new size.
 func (wm *WorkerManager) SetPlacement(p topology.Placement) {
 	wm.mu.Lock()
+	if wm.placement.Equal(p) {
+		wm.mu.Unlock()
+		return // unchanged allocation: don't restart a running pool
+	}
 	running := wm.running
 	wm.mu.Unlock()
 	if running {

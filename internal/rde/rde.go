@@ -32,6 +32,17 @@ type Exchange struct {
 	exchangeMu sync.Mutex // serializes switch+sync/ETL cycles
 	replicas   map[string]*columnar.Replica
 
+	// latches order in-flight analytical scans (readers) against writers
+	// that mutate cells a scan could be reading without atomics: the
+	// twin-instance sync after a switch re-activates the instance a prior
+	// query snapshotted, and the delta-ETL overwrites updated replica
+	// rows in place. Writers take a table's latch exclusively only when
+	// the table has in-place updates (Table.UpdateCount > 0) — for
+	// insert-only tables every write lands on rows beyond any scan's
+	// watermark, so their scans are never waited on.
+	latchMu sync.Mutex
+	latches map[string]*sync.RWMutex
+
 	// lifetime counters (diagnostics and tests)
 	switches   int64
 	syncedRows int64
@@ -49,7 +60,31 @@ func New(ledger *topology.Ledger, model *costmodel.Model, ol *oltp.Engine, oa *o
 		OLTPSocket: oltpSocket,
 		OLAPSocket: olapSocket,
 		replicas:   map[string]*columnar.Replica{},
+		latches:    map[string]*sync.RWMutex{},
 	}
+}
+
+// latch returns (creating on first use) the table's scan latch.
+func (x *Exchange) latch(table string) *sync.RWMutex {
+	x.latchMu.Lock()
+	defer x.latchMu.Unlock()
+	l := x.latches[table]
+	if l == nil {
+		l = new(sync.RWMutex)
+		x.latches[table] = l
+	}
+	return l
+}
+
+// BeginScan registers an in-flight analytical scan over the table's
+// snapshot instance and replica, and returns the release function. While
+// held, the table's instance cannot be re-activated-and-synced and its
+// replica's updated rows cannot be overwritten by ETL, so the scan's
+// non-atomic block reads stay race-free even for update workloads.
+func (x *Exchange) BeginScan(table string) func() {
+	l := x.latch(table)
+	l.RLock()
+	return l.RUnlock
 }
 
 // Replica returns (creating on first use) the OLAP instance of a table.
@@ -108,24 +143,35 @@ func (x *Exchange) SwitchAndSync(tables []*oltp.TableHandle) *SnapshotSet {
 	set := &SnapshotSet{Snaps: make(map[string]*Snapshot, len(tables))}
 	locks := x.OLTP.Manager().Locks()
 	for _, h := range tables {
-		t := h.Table()
-		ts := x.OLTP.Manager().Now()
-		sw := t.Switch()
-		tabID := h.Ref.ID
-		copied := t.SyncTo(sw.SnapshotIndex, func(row int64) func() {
-			k := txn.LockKey{Tab: tabID, Row: row}
-			locks.AcquireSync(k)
-			return func() { locks.Release(k) }
-		})
-		set.CopiedRows += int64(copied)
-		set.SyncSeconds += x.Model.SyncTime(int64(copied), sw.SnapshotRows)
-		set.Snaps[t.Schema().Name] = &Snapshot{
-			Handle:    h,
-			Inst:      sw.Snapshot,
-			InstIndex: sw.SnapshotIndex,
-			Rows:      sw.SnapshotRows,
-			SwitchTS:  ts,
-		}
+		func() {
+			t := h.Table()
+			// Updated tables: the switch re-activates the instance a
+			// prior query may still be scanning, after which transactions
+			// and the sync below write into it — wait for those scans to
+			// drain. Insert-only tables switch without waiting.
+			if t.UpdateCount() > 0 {
+				lat := x.latch(t.Schema().Name)
+				lat.Lock()
+				defer lat.Unlock()
+			}
+			ts := x.OLTP.Manager().Now()
+			sw := t.Switch()
+			tabID := h.Ref.ID
+			copied := t.SyncTo(sw.SnapshotIndex, func(row int64) func() {
+				k := txn.LockKey{Tab: tabID, Row: row}
+				locks.AcquireSync(k)
+				return func() { locks.Release(k) }
+			})
+			set.CopiedRows += int64(copied)
+			set.SyncSeconds += x.Model.SyncTime(int64(copied), sw.SnapshotRows)
+			set.Snaps[t.Schema().Name] = &Snapshot{
+				Handle:    h,
+				Inst:      sw.Snapshot,
+				InstIndex: sw.SnapshotIndex,
+				Rows:      sw.SnapshotRows,
+				SwitchTS:  ts,
+			}
+		}()
 	}
 	x.mu.Lock()
 	x.switches++
@@ -155,25 +201,20 @@ func (x *Exchange) ETL(set *SnapshotSet) ETLResult {
 		t := snap.Handle.Table()
 		rep := x.Replica(snap.Handle)
 		repRows := rep.Rows()
-		bits := t.DirtyOLAP()
-		bits.ForEachSet(func(i int) {
-			row := int64(i)
-			if row >= snap.Rows {
-				return // postdates the snapshot; keep for next time
-			}
-			bits.Clear(i)
-			if t.RowTS(row) > snap.SwitchTS {
-				// Re-updated after the snapshot: keep the record fresh for
-				// the next ETL; copying the (older) snapshot value now
-				// would only waste interconnect bandwidth.
-				bits.Set(i)
-				return
-			}
-			if row < repRows {
-				res.Bytes += rep.CopyRow(snap.Inst, row)
-				res.UpdatedRows++
-			}
-		})
+		if t.UpdateCount() > 0 {
+			// CopyRow overwrites replica rows below the watermark that a
+			// concurrent replica scan may be reading; wait those scans
+			// out. Insert-only tables only append past every scan's
+			// watermark and need no exclusion.
+			func() {
+				lat := x.latch(t.Schema().Name)
+				lat.Lock()
+				defer lat.Unlock()
+				res.addUpdates(snap, t, rep, repRows)
+			}()
+		} else {
+			res.addUpdates(snap, t, rep, repRows)
+		}
 		if snap.Rows > repRows {
 			res.Bytes += rep.CopyInserts(snap.Inst, repRows, snap.Rows)
 			res.InsertedRows += snap.Rows - repRows
@@ -184,6 +225,30 @@ func (x *Exchange) ETL(set *SnapshotSet) ETLResult {
 	x.etlBytes += res.Bytes
 	x.mu.Unlock()
 	return res
+}
+
+// addUpdates drains the table's update-indication bits, copying eligible
+// updated rows into the replica (the in-place half of the delta-ETL).
+func (res *ETLResult) addUpdates(snap *Snapshot, t *columnar.Table, rep *columnar.Replica, repRows int64) {
+	bits := t.DirtyOLAP()
+	bits.ForEachSet(func(i int) {
+		row := int64(i)
+		if row >= snap.Rows {
+			return // postdates the snapshot; keep for next time
+		}
+		bits.Clear(i)
+		if t.RowTS(row) > snap.SwitchTS {
+			// Re-updated after the snapshot: keep the record fresh for
+			// the next ETL; copying the (older) snapshot value now
+			// would only waste interconnect bandwidth.
+			bits.Set(i)
+			return
+		}
+		if row < repRows {
+			res.Bytes += rep.CopyRow(snap.Inst, row)
+			res.UpdatedRows++
+		}
+	})
 }
 
 // Freshness is the scheduler's driving metric (§4.2).

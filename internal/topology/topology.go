@@ -270,6 +270,37 @@ func (p Placement) On(s int) int {
 	return p.PerSocket[s]
 }
 
+// Equal reports whether two placements allocate the same cores per socket
+// (missing sockets count as zero).
+func (p Placement) Equal(q Placement) bool {
+	n := len(p.PerSocket)
+	if len(q.PerSocket) > n {
+		n = len(q.PerSocket)
+	}
+	for s := 0; s < n; s++ {
+		if p.On(s) != q.On(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the per-socket core deltas migrating from p to q: out[s] =
+// q.On(s) - p.On(s), over the longer of the two socket lists. Positive
+// entries are cores the engine gains, negative entries cores it must cede
+// — the worker-pool resize an RDE migration enforces.
+func (p Placement) Diff(q Placement) []int {
+	n := len(p.PerSocket)
+	if len(q.PerSocket) > n {
+		n = len(q.PerSocket)
+	}
+	out := make([]int, n)
+	for s := 0; s < n; s++ {
+		out[s] = q.On(s) - p.On(s)
+	}
+	return out
+}
+
 // Clone returns a deep copy of the placement.
 func (p Placement) Clone() Placement {
 	out := Placement{PerSocket: make([]int, len(p.PerSocket))}

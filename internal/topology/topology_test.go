@@ -128,3 +128,36 @@ func TestQuickCoreConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPlacementDiffAndEqual(t *testing.T) {
+	a := Placement{PerSocket: []int{4, 14}}
+	b := Placement{PerSocket: []int{10, 8}}
+	d := a.Diff(b)
+	if len(d) != 2 || d[0] != 6 || d[1] != -6 {
+		t.Fatalf("diff = %v, want [6 -6]", d)
+	}
+	if got := b.Diff(a); got[0] != -6 || got[1] != 6 {
+		t.Fatalf("reverse diff = %v", got)
+	}
+	// Mismatched lengths: missing sockets count as zero.
+	short := Placement{PerSocket: []int{3}}
+	d = short.Diff(a)
+	if len(d) != 2 || d[0] != 1 || d[1] != 14 {
+		t.Fatalf("short diff = %v, want [1 14]", d)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone must be equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct placements reported equal")
+	}
+	if !(Placement{PerSocket: []int{2}}).Equal(Placement{PerSocket: []int{2, 0, 0}}) {
+		t.Fatal("trailing zero sockets must compare equal")
+	}
+	// A diff of all zeros is exactly Equal.
+	for _, v := range a.Diff(a) {
+		if v != 0 {
+			t.Fatalf("self diff nonzero: %v", a.Diff(a))
+		}
+	}
+}

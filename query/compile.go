@@ -5,6 +5,7 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"sync"
 
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/costmodel"
@@ -476,6 +477,25 @@ type acc struct {
 type exec struct {
 	c     *Compiled
 	build map[int64]struct{}
+	// scratch pools selection-vector and accumulator-row buffers across
+	// the task's morsels and workers: locals are per-morsel (for the
+	// engine's deterministic ordered merge), so reusable scratch must live
+	// with the exec, not the local.
+	scratch sync.Pool
+}
+
+// scratchBufs is transient per-block working memory; contents never
+// outlive one Consume call, so pooling cannot affect results.
+type scratchBufs struct {
+	sel  []int32
+	rows [][]acc
+}
+
+func (e *exec) getScratch() *scratchBufs {
+	if s, ok := e.scratch.Get().(*scratchBufs); ok {
+		return s
+	}
+	return &scratchBufs{}
 }
 
 type local struct {
@@ -483,25 +503,40 @@ type local struct {
 	global  []acc          // ungrouped accumulators
 	flat    []acc          // single-key fast path: flat[key*naggs+j]
 	present []bool         // flat occupancy, indexed by key
+	dense   bool           // single-key plan: flat path enabled
 	groups  map[gkey][]acc // grouped accumulators (spill / composite keys)
-	sel     []int32        // selection-vector scratch, reused across blocks
-	rows    [][]acc        // per-selected-row accumulator scratch
 }
 
-// NewLocal implements olap.Exec.
+// NewLocal implements olap.Exec. Locals are per-morsel (the engine merges
+// them in morsel order for deterministic results), so group state
+// allocates lazily, sized to the key domain each morsel actually touches.
 func (e *exec) NewLocal() olap.Local {
-	l := &local{e: e}
-	switch {
-	case len(e.c.groups) == 0:
+	l := &local{e: e, dense: len(e.c.groups) == 1}
+	if len(e.c.groups) == 0 {
 		l.global = make([]acc, len(e.c.aggs))
-	case len(e.c.groups) == 1:
-		l.flat = make([]acc, denseLen*len(e.c.aggs))
-		l.present = make([]bool, denseLen)
-		l.groups = make(map[gkey][]acc)
-	default:
-		l.groups = make(map[gkey][]acc)
 	}
 	return l
+}
+
+// ensureDense grows the flat accumulator array to cover key k. Growth
+// doubles, so a morsel touching only small keys (Q1's 15 line numbers, a
+// handful of warehouse ids) pays for a few dozen slots, not denseLen.
+func (l *local) ensureDense(k int64, nagg int) {
+	if int(k) < len(l.present) {
+		return
+	}
+	n := 16
+	for n <= int(k) {
+		n *= 2
+	}
+	if n > denseLen {
+		n = denseLen
+	}
+	flat := make([]acc, n*nagg)
+	copy(flat, l.flat)
+	present := make([]bool, n)
+	copy(present, l.present)
+	l.flat, l.present = flat, present
 }
 
 // Consume implements olap.Local. Execution is columnar: each filter runs
@@ -511,7 +546,9 @@ func (e *exec) NewLocal() olap.Local {
 // closures (the pushdown the builder promises).
 func (l *local) Consume(b olap.Block) {
 	c := l.e.c
-	sel := l.sel[:0]
+	sc := l.e.getScratch()
+	defer l.e.scratch.Put(sc)
+	sel := sc.sel[:0]
 	if len(c.filters) == 0 {
 		for i := 0; i < b.N; i++ {
 			sel = append(sel, int32(i))
@@ -537,7 +574,7 @@ func (l *local) Consume(b olap.Block) {
 		}
 		sel = out
 	}
-	l.sel = sel // retain scratch capacity
+	sc.sel = sel // retain scratch capacity
 	if len(sel) == 0 {
 		return
 	}
@@ -546,13 +583,13 @@ func (l *local) Consume(b olap.Block) {
 		l.updateAccs(b, sel, nil)
 		return
 	}
-	if l.flat != nil {
+	if l.dense {
 		l.updateDense(b, sel)
 		return
 	}
 	// Composite keys: resolve each selected row's accumulator row once,
 	// then update aggregate-by-aggregate.
-	rows := l.rows[:0]
+	rows := sc.rows[:0]
 	for _, i := range sel {
 		var k gkey
 		for j, s := range c.groups {
@@ -560,14 +597,14 @@ func (l *local) Consume(b olap.Block) {
 		}
 		rows = append(rows, l.lookupSpill(k))
 	}
-	l.rows = rows
+	sc.rows = rows
 	l.updateAccs(b, sel, rows)
 }
 
-// denseAt returns the j-th accumulator of key k: flat-array for in-range
-// keys, spill map otherwise.
+// denseAt returns the j-th accumulator of key k: flat-array for keys the
+// occupancy pass covered, spill map otherwise.
 func (l *local) denseAt(k int64, j, nagg int) *acc {
-	if uint64(k) < denseLen {
+	if uint64(k) < uint64(len(l.present)) {
 		return &l.flat[int(k)*nagg+j]
 	}
 	return &l.lookupSpill(gkey{k})[j]
@@ -580,8 +617,17 @@ func (l *local) updateDense(b olap.Block, sel []int32) {
 	c := l.e.c
 	nagg := len(c.aggs)
 	kvec := b.Cols[c.groups[0]]
+	maxk := int64(-1)
 	for _, i := range sel {
-		if k := kvec[i]; uint64(k) < denseLen {
+		if k := kvec[i]; uint64(k) < denseLen && k > maxk {
+			maxk = k
+		}
+	}
+	if maxk >= 0 {
+		l.ensureDense(maxk, nagg)
+	}
+	for _, i := range sel {
+		if k := kvec[i]; uint64(k) < uint64(len(l.present)) {
 			l.present[k] = true
 		}
 	}
@@ -626,6 +672,9 @@ func (l *local) updateDense(b olap.Block, sel []int32) {
 }
 
 func (l *local) lookupSpill(k gkey) []acc {
+	if l.groups == nil {
+		l.groups = make(map[gkey][]acc)
+	}
 	accs := l.groups[k]
 	if accs == nil {
 		accs = make([]acc, len(l.e.c.aggs))
@@ -798,9 +847,10 @@ func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
 	return out
 }
 
-// Merge implements olap.Exec: partials combine in worker order, grouped
-// rows emit sorted ascending by key (the engine's worker interleaving is
-// nondeterministic, so a stable output order keeps results comparable).
+// Merge implements olap.Exec: the engine passes per-morsel partials in
+// morsel order, so combining them in slice order yields bit-identical
+// float totals across runs, worker counts and work stealing; grouped
+// rows emit sorted ascending by key for a stable output order.
 func (e *exec) Merge(locals []olap.Local) olap.Result {
 	c := e.c
 	res := olap.Result{Cols: c.outCols}
