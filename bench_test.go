@@ -338,6 +338,111 @@ func BenchmarkQ1Handcoded(b *testing.B) {
 	}
 }
 
+// BenchmarkQ19Handcoded and BenchmarkQ19Builder compare the semi-join
+// probe kernels (existence-only hash join).
+func BenchmarkQ19Handcoded(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q := &ch.Q19{DB: db}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ19Builder is the builder-compiled counterpart.
+func BenchmarkQ19Builder(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q, err := ch.Q19Plan(0, 0, 0, 0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchJoinSetup is benchGoldenSetup plus NewOrder transactions, so Q3's
+// undelivered-orders join has matches to project.
+func benchJoinSetup(b *testing.B, workers int) (*ch.DB, *olap.Engine, olap.Source) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.SizingForScale(0.02), 1)
+	runNewOrders(b, e, db, 200)
+	tab := db.OrderLine.Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "bench",
+	}}}
+	eng := olap.NewEngine(1)
+	eng.SetPlacement(placementOf(workers))
+	return db, eng, src
+}
+
+// BenchmarkQ3Handcoded and BenchmarkQ3Builder compare the
+// payload-projecting composite-key join with ordered top-k merge.
+func BenchmarkQ3Handcoded(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q := &ch.Q3{DB: db}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ3Builder is the builder-compiled counterpart.
+func BenchmarkQ3Builder(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q, err := ch.Q3Plan(0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ18Handcoded and BenchmarkQ18Builder compare the wide
+// group-by/having/top-k merge path (one group per order).
+func BenchmarkQ18Handcoded(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q := &ch.Q18{DB: db}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ18Builder is the builder-compiled counterpart.
+func BenchmarkQ18Builder(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q, err := ch.Q18Plan(0, 0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInstanceSwitch measures the real switch+sync path latency.
 func BenchmarkInstanceSwitch(b *testing.B) {
 	sys, err := core.NewSystem(core.DefaultSystemConfig())

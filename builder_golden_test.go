@@ -17,7 +17,8 @@ import (
 // reproduce their results and scan statistics.
 
 // goldenPairs returns (hand-coded, builder plan) pairs covering default
-// and parameterized forms of Q1, Q6 and Q19.
+// and parameterized forms of Q1, Q6, Q19, and the join/ordered/top-k
+// shapes Q3, Q12 and Q18.
 func goldenPairs(db *ch.DB) []struct {
 	name string
 	hand olap.Query
@@ -39,7 +40,23 @@ func goldenPairs(db *ch.DB) []struct {
 		{"Q19-bracketed",
 			&ch.Q19{DB: db, QtyLo: 2, QtyHi: 6, PriceLo: 20, PriceHi: 80},
 			ch.Q19Plan(2, 6, 20, 80)},
+		{"Q3-default", &ch.Q3{DB: db}, ch.Q3Plan(0)},
+		{"Q3-top5", &ch.Q3{DB: db, TopN: 5}, ch.Q3Plan(5)},
+		{"Q12-default", &ch.Q12{DB: db}, ch.Q12Plan(0)},
+		{"Q12-since", &ch.Q12{DB: db, DeliveredSince: int64(day - 50)}, ch.Q12Plan(int64(day - 50))},
+		{"Q18-default", &ch.Q18{DB: db}, ch.Q18Plan(0, 0)},
+		{"Q18-tight", &ch.Q18{DB: db, MinRevenue: 3000, TopN: 7}, ch.Q18Plan(3000, 7)},
 	}
+}
+
+// runNewOrders executes NewOrder transactions directly on the OLTP engine
+// so a freshly generated database (all orders delivered at load) gains
+// undelivered orders for Q3's join to find.
+func runNewOrders(t testing.TB, e *oltp.Engine, db *ch.DB, n int) {
+	t.Helper()
+	e.Workers().SetWorkload(ch.NewMix(db, 0, 5))
+	e.Workers().SetPlacement(topology.Placement{PerSocket: []int{2}})
+	e.Workers().ExecuteBatch(n)
 }
 
 func TestBuilderPlanMetadataMatchesHandCoded(t *testing.T) {
@@ -72,6 +89,7 @@ func TestBuilderPlanMetadataMatchesHandCoded(t *testing.T) {
 func TestBuilderGoldenSingleWorker(t *testing.T) {
 	e := oltp.NewEngine()
 	db := ch.Load(e, ch.SizingForScale(0.003), 11)
+	runNewOrders(t, e, db, 60)
 	tab := db.OrderLine.Table()
 	src := olap.Source{Table: tab, Parts: []olap.Part{{
 		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
@@ -178,6 +196,7 @@ func assertResultsIdentical(t *testing.T, name string, got, want olap.Result) {
 func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 	e := oltp.NewEngine()
 	db := ch.Load(e, ch.SizingForScale(0.02), 11)
+	runNewOrders(t, e, db, 150)
 	tab := db.OrderLine.Table()
 	src := olap.Source{Table: tab, Parts: []olap.Part{{
 		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
@@ -199,6 +218,9 @@ func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 		want, _, err := ref.Execute(p.hand, src)
 		if err != nil {
 			t.Fatalf("%s: reference: %v", p.name, err)
+		}
+		if len(want.Rows) == 0 {
+			t.Fatalf("%s: reference produced no rows; the pair tests nothing", p.name)
 		}
 		for round := 0; round < 3; round++ {
 			for _, q := range []olap.Query{p.hand, built} {
@@ -247,7 +269,7 @@ func TestGoldenStableUnderMigrationChurn(t *testing.T) {
 		}
 	}()
 
-	for _, q := range []Query{Q1(db), Q6(db), Q19(db)} {
+	for _, q := range []Query{Q1(db), Q6(db), Q19(db), Q3(db), Q12(db), Q18(db)} {
 		var want olap.Result
 		for round := 0; round < 4; round++ {
 			rep, err := sys.QueryInState(q, S3NI)

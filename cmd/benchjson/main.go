@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document mapping each benchmark to its measured metrics, for CI to
+// record as the repository's performance trajectory (BENCH_ci.json):
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_ci.json
+//
+// Standard units parse into fixed fields (ns/op, B/op, allocs/op, MB/s);
+// any other unit — including testing.B.ReportMetric custom metrics — lands
+// in the metrics map verbatim. Input defaults to stdin, output to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	N           int64              `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkQ6Builder-8   3   1009042 ns/op   2847.06 MB/s   276045 B/op   67 allocs/op
+//
+// with an arbitrary tail of "<value> <unit>" pairs. Header lines (goos,
+// goarch, pkg, cpu) fill the report envelope; everything else is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]*Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, hdr := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &rep.Goos},
+			{"goarch: ", &rep.Goarch},
+			{"pkg: ", &rep.Pkg},
+			{"cpu: ", &rep.CPU},
+		} {
+			if strings.HasPrefix(line, hdr.prefix) {
+				*hdr.dst = strings.TrimPrefix(line, hdr.prefix)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := &Bench{N: n}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "MB/s":
+				b.MBPerSec = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if ok {
+			rep.Benchmarks[fields[0]] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output file (default stdin)")
+		out = flag.String("out", "", "JSON destination (default stdout)")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: elastichtap
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQ6Handcoded  	       3	    409628 ns/op	7013.19 MB/s	    2426 B/op	      39 allocs/op
+BenchmarkQ6Builder    	       3	   1009042 ns/op	2847.06 MB/s	  276045 B/op	      67 allocs/op
+BenchmarkSyncClaim-8  	       5	   1536000 ns/op	        10.2 measured-sync-ms	        10.0 model-sync-ms
+PASS
+ok  	elastichtap	3.175s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "elastichtap" {
+		t.Fatalf("envelope = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks["BenchmarkQ6Builder"]
+	if b == nil {
+		t.Fatal("Q6Builder missing")
+	}
+	if b.N != 3 || b.NsPerOp != 1009042 || b.BytesPerOp != 276045 || b.AllocsPerOp != 67 || b.MBPerSec != 2847.06 {
+		t.Fatalf("Q6Builder = %+v", b)
+	}
+	s := rep.Benchmarks["BenchmarkSyncClaim-8"]
+	if s == nil || s.Metrics["measured-sync-ms"] != 10.2 || s.Metrics["model-sync-ms"] != 10.0 {
+		t.Fatalf("custom metrics = %+v", s)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBad abc def\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
+	}
+}

@@ -29,7 +29,7 @@ func main() {
 		payment   = flag.Int("payment", 0, "Payment percentage in the mix")
 		alpha     = flag.Float64("alpha", 0.7, "ETL sensitivity α")
 		state     = flag.String("state", "", "pin a static state: S1, S2, S3-IS, S3-NI (empty = adaptive)")
-		queryName = flag.String("query", "Q6", "query per round: Q1, Q6, Q19, adhoc")
+		queryName = flag.String("query", "Q6", "query per round: Q1, Q3, Q6, Q12, Q18, Q19, mix, adhoc, topk")
 		emulate   = flag.Float64("emulate", 300, "report timings as if at this scale factor")
 	)
 	flag.Parse()
@@ -55,12 +55,39 @@ func main() {
 		}
 		forced = &st
 	}
+	mix := db.QuerySet()
+	round := 0
 	pick := func() elastichtap.Query {
 		switch strings.ToUpper(*queryName) {
 		case "Q1":
 			return elastichtap.Q1(db)
+		case "Q3":
+			return elastichtap.Q3(db)
+		case "Q12":
+			return elastichtap.Q12(db)
+		case "Q18":
+			return elastichtap.Q18(db)
 		case "Q19":
 			return elastichtap.Q19(db)
+		case "MIX":
+			// Rotate through the full analytical mix, one query per round.
+			q := mix[round%len(mix)]
+			round++
+			return q
+		case "TOPK":
+			// An ordered top-k report: the five busiest warehouses by
+			// revenue this week, ranked at merge time.
+			q, err := sys.Build(query.Scan("orderline").
+				Named("topk").
+				Filter(query.Ge("ol_delivery_d", db.Day()-7)).
+				GroupBy("ol_w_id").
+				Agg(query.Sum("ol_amount").As("revenue"), query.Count()).
+				OrderBy("revenue", true).
+				Limit(5))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return q
 		case "ADHOC":
 			// A declaratively-built report: this week's revenue by
 			// warehouse, compiled onto the generic OLAP kernels.

@@ -1,3 +1,3 @@
 module elastichtap
 
-go 1.24
+go 1.23

@@ -42,22 +42,26 @@
 //	rep, _ := sys.Query(elastichtap.Q6(db))
 //	fmt.Println(rep.State, rep.ResponseSeconds, rep.Result.Rows)
 //
-// Analytical queries beyond the built-in CH-benCHmark trio are expressed
+// Analytical queries beyond the built-in CH-benCHmark set are expressed
 // declaratively with the query builder (package elastichtap/query): a
-// logical plan — scan, filter, semi-join, group-by, aggregate — compiles
-// onto the OLAP engine's generic kernels and flows through the adaptive
-// scheduler with a work class inferred from the plan shape:
+// logical plan — scan, filter, inner/semi hash join with payload
+// projection, group-by, aggregate (including conditional counts), having,
+// order-by and top-k — compiles onto the OLAP engine's generic kernels
+// and flows through the adaptive scheduler with a work class inferred
+// from the plan shape:
 //
 //	plan := query.Scan("orderline").
 //		Filter(query.Ge("ol_delivery_d", db.Day())).
 //		GroupBy("ol_w_id").
-//		Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+//		Agg(query.Sum("ol_amount").As("revenue"), query.Count()).
+//		OrderBy("revenue", true).
+//		Limit(5)
 //	q, _ := sys.Build(plan)
 //	rep, _ = sys.Query(q)
 //
-// The built-in Q1, Q6 and Q19 are themselves builder-compiled; the
-// original hand-coded executors remain in internal/ch as golden references
-// for the compiler's correctness tests.
+// The built-in Q1, Q3, Q6, Q12, Q18 and Q19 are themselves
+// builder-compiled; hand-coded executors remain in internal/ch as golden
+// references for the compiler's correctness tests.
 package elastichtap
 
 import (
@@ -441,11 +445,15 @@ func (s *System) Freshness() (rate float64, freshBytes int64) {
 	return f.Rate, f.Nft
 }
 
-// Q1, Q6 and Q19 build the paper's evaluation queries over a database.
+// Q1, Q3, Q6, Q12, Q18 and Q19 build the CH-benCHmark evaluation queries
+// over a database — the paper's trio plus the join/ordered/top-k mix.
 // Each is compiled from its logical plan (internal/ch builder plans); a
 // nil db yields a query that fails with a descriptive error when run.
 func Q1(db *DB) Query  { return compilePlan(ch.Q1Plan(0), db) }
+func Q3(db *DB) Query  { return compilePlan(ch.Q3Plan(0), db) }
 func Q6(db *DB) Query  { return compilePlan(ch.Q6Plan(0, 0, 0, 0), db) }
+func Q12(db *DB) Query { return compilePlan(ch.Q12Plan(0), db) }
+func Q18(db *DB) Query { return compilePlan(ch.Q18Plan(0, 0), db) }
 func Q19(db *DB) Query { return compilePlan(ch.Q19Plan(0, 0, 0, 0), db) }
 
 // compilePlan binds a plan, deferring bind errors into the returned query
@@ -469,6 +477,7 @@ const (
 	ScanReduce  = costmodel.ScanReduce
 	ScanGroupBy = costmodel.ScanGroupBy
 	JoinProbe   = costmodel.JoinProbe
+	JoinProject = costmodel.JoinProject
 )
 
 // Checkpoint writes a consistent snapshot of the named table to w: the

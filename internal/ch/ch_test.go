@@ -309,16 +309,22 @@ func TestSizingForScale(t *testing.T) {
 func TestQuerySet(t *testing.T) {
 	db := loadTiny(t)
 	qs := db.QuerySet()
-	if len(qs) != 3 {
-		t.Fatalf("QuerySet len = %d", len(qs))
+	names := []string{"Q1", "Q6", "Q19", "Q3", "Q12", "Q18"}
+	if len(qs) != len(names) {
+		t.Fatalf("QuerySet len = %d, want %d", len(qs), len(names))
 	}
-	names := []string{"Q1", "Q6", "Q19"}
 	for i, q := range qs {
 		if q.Name() != names[i] {
-			t.Fatalf("query %d = %s", i, q.Name())
+			t.Fatalf("query %d = %s, want %s", i, q.Name(), names[i])
 		}
 		if q.FactTable() != TOrderLine {
 			t.Fatalf("query %s fact table = %s", q.Name(), q.FactTable())
+		}
+		// The builder-compiled members must have bound cleanly.
+		if v, ok := q.(interface{ Err() error }); ok {
+			if err := v.Err(); err != nil {
+				t.Fatalf("query %s carries bind error: %v", q.Name(), err)
+			}
 		}
 	}
 }

@@ -48,6 +48,66 @@ func Q6Plan(dateLo, dateHi, qtyLo, qtyHi int64) *query.Plan {
 		)
 }
 
+// Q3Plan is CH-Q3 (simplified) as a logical plan: OrderLine inner-joined
+// with Orders on the composite order key, keeping undelivered orders
+// (o_carrier_id = 0), grouping per order with the dimension's o_entry_d
+// projected into the group key, ordered by revenue descending, top-N.
+// topN <= 0 defaults to 10, exactly like Q3.TopN.
+func Q3Plan(topN int) *query.Plan {
+	if topN <= 0 {
+		topN = 10
+	}
+	return query.Scan(TOrderLine).
+		Named("Q3").
+		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
+		On("ol_d_id", "o_d_id").
+		On("ol_o_id", "o_id").
+		JoinFilter(query.Eq("o_carrier_id", 0)).
+		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
+		Agg(query.Sum("ol_amount").As("revenue")).
+		OrderBy("revenue", true).
+		Limit(topN)
+}
+
+// Q12Plan is CH-Q12 (simplified) as a logical plan: delivered order lines
+// joined with Orders, bucketed by the order's line count, split into
+// high-priority (carriers 1-2) and low-priority counts with conditional
+// aggregation. deliveredSince mirrors Q12.DeliveredSince.
+func Q12Plan(deliveredSince int64) *query.Plan {
+	highPriority := query.Between("o_carrier_id", 1, 2)
+	return query.Scan(TOrderLine).
+		Named("Q12").
+		Filter(query.Ge("ol_delivery_d", deliveredSince)).
+		Join(TOrders, "ol_w_id", "o_w_id", "o_carrier_id", "o_ol_cnt").
+		On("ol_d_id", "o_d_id").
+		On("ol_o_id", "o_id").
+		GroupBy("o_ol_cnt").
+		Agg(
+			query.CountIf(highPriority).As("high_line_count"),
+			query.CountIf(query.Not(highPriority)).As("low_line_count"),
+		)
+}
+
+// Q18Plan is CH-Q18 (simplified) as a logical plan: OrderLine grouped by
+// the composite order key, keeping orders whose revenue exceeds
+// minRevenue (HAVING), ordered by revenue descending, top-N. Zero values
+// default exactly like Q18: minRevenue 200, topN 100.
+func Q18Plan(minRevenue float64, topN int) *query.Plan {
+	if minRevenue <= 0 {
+		minRevenue = 200
+	}
+	if topN <= 0 {
+		topN = 100
+	}
+	return query.Scan(TOrderLine).
+		Named("Q18").
+		GroupBy("ol_w_id", "ol_d_id", "ol_o_id").
+		Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("lines")).
+		Having(query.Gt("revenue", minRevenue)).
+		OrderBy("revenue", true).
+		Limit(topN)
+}
+
 // Q19Plan is CH-Q19 (LIKE removed, §5.3) as a logical plan: OrderLine
 // semi-joined with Item under price and quantity brackets, summing
 // revenue. Zero values default exactly like Q19: qty in [1,10], price in

@@ -6,6 +6,7 @@ import (
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/olap"
+	"elastichtap/query"
 )
 
 // The paper evaluates CH-Q1 and CH-Q6 (scan-heavy) and CH-Q19 (join-heavy)
@@ -256,10 +257,28 @@ func (e *q19Exec) Merge(locals []olap.Local) olap.Result {
 	}
 }
 
-// QuerySet returns the paper's evaluation mix — two scan-heavy queries and
-// one join-heavy query (§5.3) — in execution order Q1, Q6, Q19.
+// QuerySet returns the analytical mix the scheduler sweeps: the paper's
+// evaluation trio (§5.3) in execution order Q1, Q6, Q19, followed by the
+// builder-compiled Q3, Q12 and Q18 — a payload join with ordered top-k, a
+// conditional-aggregation join, and a group-by/having/top-k — so
+// experiments and cmd/chbench exercise every work class the cost model
+// distinguishes.
 func (db *DB) QuerySet() []olap.Query {
-	return []olap.Query{&Q1{DB: db}, &Q6{DB: db}, &Q19{DB: db}}
+	return []olap.Query{
+		&Q1{DB: db}, &Q6{DB: db}, &Q19{DB: db},
+		db.compiled(Q3Plan(0)), db.compiled(Q12Plan(0)), db.compiled(Q18Plan(0, 0)),
+	}
+}
+
+// compiled binds a builder plan against the database, deferring bind
+// errors into the returned query (they surface when the runner checks
+// Err), so QuerySet stays infallible.
+func (db *DB) compiled(p *query.Plan) olap.Query {
+	q, err := p.Bind(db)
+	if err != nil {
+		return olap.Invalid{QueryName: p.Name(), Reason: err}
+	}
+	return q
 }
 
 // SortResult orders result rows by their first column (test helper for

@@ -42,13 +42,18 @@ func TestQ3MatchesReference(t *testing.T) {
 	if len(res.Rows) > 5 {
 		t.Fatalf("TopN violated: %d rows", len(res.Rows))
 	}
-	// Rows must be sorted by revenue descending and match the reference.
-	prev := res.Rows[0][1]
+	// Rows carry (w, d, o, entry_d, revenue), sorted by revenue descending,
+	// and must match the reference.
+	prev := res.Rows[0][4]
 	for _, row := range res.Rows {
-		k, got := uint64(row[0]), row[1]
+		k := OrderKey(int64(row[0]), int64(row[1]), int64(row[2]))
+		got := row[4]
 		want := rev[k]
 		if d := got - want; d > 1e-6 || d < -1e-6 {
 			t.Fatalf("order %d revenue = %v, want %v", k, got, want)
+		}
+		if !undelivered[k] {
+			t.Fatalf("order %d is delivered but surfaced", k)
 		}
 		if got > prev {
 			t.Fatal("rows not sorted by revenue")
@@ -162,6 +167,52 @@ func TestQ14MatchesReference(t *testing.T) {
 	wantShare := 100 * wantPromo / wantTotal
 	if d := res.Rows[0][0] - wantShare; d > 1e-9 || d < -1e-9 {
 		t.Fatalf("share = %v, want %v", res.Rows[0][0], wantShare)
+	}
+}
+
+func TestQ18MatchesReference(t *testing.T) {
+	db := loadTiny(t)
+	const minRev, topN = 500.0, 7
+	res := execOnActive(t, db, &Q18{DB: db, MinRevenue: minRev, TopN: topN})
+
+	// Reference: revenue and line count per order, thresholded.
+	olt := db.OrderLine.Table()
+	rev := map[uint64]float64{}
+	lines := map[uint64]int64{}
+	for r := int64(0); r < olt.Rows(); r++ {
+		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
+		rev[k] += columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
+		lines[k]++
+	}
+	qualifying := 0
+	for _, v := range rev {
+		if v > minRev {
+			qualifying++
+		}
+	}
+	wantRows := qualifying
+	if wantRows > topN {
+		wantRows = topN
+	}
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d (qualifying %d)", len(res.Rows), wantRows, qualifying)
+	}
+	prev := res.Rows[0][3]
+	for _, row := range res.Rows {
+		k := OrderKey(int64(row[0]), int64(row[1]), int64(row[2]))
+		if d := row[3] - rev[k]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("order %d revenue = %v, want %v", k, row[3], rev[k])
+		}
+		if int64(row[4]) != lines[k] {
+			t.Fatalf("order %d lines = %v, want %d", k, row[4], lines[k])
+		}
+		if row[3] <= minRev {
+			t.Fatalf("order %d revenue %v below HAVING threshold", k, row[3])
+		}
+		if row[3] > prev {
+			t.Fatal("rows not sorted by revenue")
+		}
+		prev = row[3]
 	}
 }
 

@@ -305,6 +305,10 @@ func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet)
 		Background:            base.Usage,
 		BroadcastBytes:        stats.BuildBytes,
 		MeasuredRemoteBytesAt: s.scaleAll(stats.StolenBytesAt),
+		// Merged group counts grow with the fact table (Q3/Q18 group per
+		// order), so the sort volume scales with the emulated size like
+		// the payload bytes do — unlike the dimension-sized broadcast.
+		SortRows: s.scale(res.SortedRows),
 	})
 	during := s.Model.OLTPThroughput(costmodel.OLTPLoad{
 		Workers: adm.oltpPlace, HomeSocket: s.Cfg.OLTPSocket, Background: scan.Usage,

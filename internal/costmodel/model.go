@@ -108,6 +108,11 @@ type ScanRequest struct {
 	// completion-time search stays on the modeled locality-aware routing,
 	// keeping simulated durations deterministic.
 	MeasuredRemoteBytesAt []int64
+	// SortRows is the number of merged result rows an ordered (top-k)
+	// query passes through its merge-side sort; zero for unordered
+	// queries. Charged at Params.SortSecondsPerRow on top of the parallel
+	// pipeline, since the ordered merge is single-threaded.
+	SortRows int64
 }
 
 // MeasuredRemoteBytes returns the total measured cross-socket payload.
@@ -201,7 +206,10 @@ func (m *Model) OLAPScan(req ScanRequest) ScanResult {
 	if measured := req.MeasuredRemoteBytes(); measured > cross {
 		cross = measured
 	}
-	return ScanResult{Seconds: t + bcast, Usage: u, CrossBytes: cross + bcastBytes}
+	// The ordered merge sorts after the parallel pipeline drains, one row
+	// at a time on the merging goroutine.
+	sortSecs := float64(req.SortRows) * m.p.SortSecondsPerRow
+	return ScanResult{Seconds: t + bcast + sortSecs, Usage: u, CrossBytes: cross + bcastBytes}
 }
 
 // scanFeasible reports whether all payload bytes can be drained within t

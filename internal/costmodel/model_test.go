@@ -257,3 +257,42 @@ func TestMeasuredStealingInformsCrossBytes(t *testing.T) {
 		t.Fatalf("remote scan must cross the interconnect: %d", remote.CrossBytes)
 	}
 }
+
+func TestJoinProjectHeavierThanProbe(t *testing.T) {
+	m := testModel()
+	req := ScanRequest{Class: JoinProbe, BytesAt: []int64{1 << 30, 0}, Workers: place(4, 0)}
+	probe := m.OLAPScan(req)
+	req.Class = JoinProject
+	project := m.OLAPScan(req)
+	// Payload projection pushes fewer bytes per core-second than the
+	// existence probe, so the same scan takes longer.
+	if project.Seconds <= probe.Seconds {
+		t.Fatalf("join-project (%v) not slower than join-probe (%v)",
+			project.Seconds, probe.Seconds)
+	}
+	if JoinProject.String() != "join-project" {
+		t.Fatalf("String() = %q", JoinProject.String())
+	}
+}
+
+func TestSortRowsChargedPerRow(t *testing.T) {
+	m := testModel()
+	req := ScanRequest{Class: ScanGroupBy, BytesAt: []int64{1 << 30, 0}, Workers: place(4, 0)}
+	base := m.OLAPScan(req)
+	req.SortRows = 2_000_000
+	sorted := m.OLAPScan(req)
+	want := base.Seconds + 2e6*m.Params().SortSecondsPerRow
+	if d := sorted.Seconds - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("sorted scan = %v, want %v (base %v + sort charge)",
+			sorted.Seconds, want, base.Seconds)
+	}
+	// The sort runs on the merging goroutine: more workers do not shrink it.
+	req.Workers = place(14, 0)
+	wide := m.OLAPScan(req)
+	reqNoSort := req
+	reqNoSort.SortRows = 0
+	wideBase := m.OLAPScan(reqNoSort)
+	if d := (wide.Seconds - wideBase.Seconds) - 2e6*m.Params().SortSecondsPerRow; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("sort charge varied with the placement: %v", wide.Seconds-wideBase.Seconds)
+	}
+}

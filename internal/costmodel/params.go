@@ -21,8 +21,14 @@ const (
 	ScanReduce WorkClass = iota
 	// ScanGroupBy is a scan-filter-groupby pipeline (CH-Q1).
 	ScanGroupBy
-	// JoinProbe is a fact-dimension hash join probe pipeline (CH-Q19).
+	// JoinProbe is a fact-dimension hash join probe pipeline whose probe
+	// only tests existence (CH-Q19's semi form).
 	JoinProbe
+	// JoinProject is a fact-dimension hash join that also projects
+	// dimension payload columns into downstream grouping and aggregation
+	// (CH-Q3, CH-Q12): every matched row materializes payload values, so
+	// it pushes fewer bytes per core-second than the existence probe.
+	JoinProject
 )
 
 // String names the work class.
@@ -34,6 +40,8 @@ func (w WorkClass) String() string {
 		return "scan-groupby"
 	case JoinProbe:
 		return "join-probe"
+	case JoinProject:
+		return "join-project"
 	default:
 		return "unknown"
 	}
@@ -101,6 +109,12 @@ type Params struct {
 	// every socket that hosts probe workers.
 	BroadcastBuildPenalty float64
 
+	// SortSecondsPerRow charges the ordered (top-k) merge of sorted query
+	// results: the merge runs single-threaded after the parallel pipeline,
+	// so each merged row passing through the sort adds this much to the
+	// pipeline duration regardless of the worker placement.
+	SortSecondsPerRow float64
+
 	// MinAvailBWFraction floors the local bandwidth available to a reader
 	// class so the model never divides by zero under full contention.
 	MinAvailBWFraction float64
@@ -118,6 +132,7 @@ func DefaultParams() Params {
 			ScanReduce:  14e9,
 			ScanGroupBy: 6e9,
 			JoinProbe:   5e9,
+			JoinProject: 4e9,
 		},
 		ETLCopyRatePerCore:     1.2e9,
 		SyncRowsPerSec:         1e8,
@@ -132,16 +147,20 @@ func DefaultParams() Params {
 		CoWPageBytes:           4096,
 		CoWPageCopySeconds:     2.0e-6,
 		BroadcastBuildPenalty:  1.0,
+		SortSecondsPerRow:      50e-9,
 		MinAvailBWFraction:     0.05,
 	}
 }
 
 // Validate reports whether the parameter set is usable.
 func (p Params) Validate() error {
-	for _, w := range []WorkClass{ScanReduce, ScanGroupBy, JoinProbe} {
+	for _, w := range []WorkClass{ScanReduce, ScanGroupBy, JoinProbe, JoinProject} {
 		if p.PerCoreRate[w] <= 0 {
 			return errf("PerCoreRate[%v] must be positive", w)
 		}
+	}
+	if p.SortSecondsPerRow < 0 {
+		return errf("SortSecondsPerRow must be non-negative")
 	}
 	if p.ETLCopyRatePerCore <= 0 {
 		return errf("ETLCopyRatePerCore must be positive")

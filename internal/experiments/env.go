@@ -113,7 +113,10 @@ func (e *Env) InjectFor(simSeconds, tps float64) int {
 	return n
 }
 
-// Queries returns fresh instances of the paper's query mix.
+// Queries returns fresh instances of the analytical mix each sequence
+// sweeps: the paper's Q1/Q6/Q19 trio plus the builder-compiled Q3, Q12
+// and Q18 — payload joins, conditional aggregation and ordered top-k —
+// so figures exercise every work class the cost model distinguishes.
 func (e *Env) Queries() []olap.Query { return e.DB.QuerySet() }
 
 // Q1, Q6, Q19 return single queries bound to this environment.

@@ -60,6 +60,11 @@ type Query interface {
 type Result struct {
 	Cols []string
 	Rows [][]float64
+	// SortedRows is how many merged rows passed through an ordered merge
+	// (SortRows) — the sort volume the cost model charges per row. Zero
+	// for unordered queries; for top-k queries it counts the rows sorted,
+	// not the rows kept.
+	SortedRows int64
 }
 
 // Stats reports what one execution actually touched.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
@@ -12,6 +13,14 @@ import (
 	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 )
+
+// ErrPredType reports a predicate literal whose Go type cannot compare
+// against the bound column: a string against an int64 column, a float
+// with a fractional part against an integer column, an int against a
+// string column. Bind wraps it with the offending column and value, so
+// errors.Is(err, ErrPredType) distinguishes literal-type mistakes from
+// unknown-name errors.
+var ErrPredType = errors.New("predicate literal type mismatch")
 
 // Catalog resolves table names to storage handles. *ch.DB (re-exported as
 // elastichtap.DB) satisfies it.
@@ -28,8 +37,10 @@ type fkind int8
 const (
 	fIntRange fkind = iota // also string dictionary codes
 	fIntNe
+	fIntNotRange
 	fFloatRange
 	fFloatNe
+	fFloatNotRange
 	fNever // statically unsatisfiable
 )
 
@@ -48,11 +59,31 @@ func (t *ftest) match(w int64) bool {
 		return w >= t.ilo && w <= t.ihi
 	case fIntNe:
 		return w != t.ilo
+	case fIntNotRange:
+		return w < t.ilo || w > t.ihi
 	case fFloatRange:
 		d := columnar.DecodeFloat(w)
 		return d >= t.flo && d <= t.fhi
 	case fFloatNe:
 		return columnar.DecodeFloat(w) != t.flo
+	case fFloatNotRange:
+		d := columnar.DecodeFloat(w)
+		return d < t.flo || d > t.fhi
+	default:
+		return false
+	}
+}
+
+// fmatch evaluates the test against an already-decoded float64 — the cell
+// type of emitted result rows (Having predicates).
+func (t *ftest) fmatch(v float64) bool {
+	switch t.kind {
+	case fFloatRange:
+		return v >= t.flo && v <= t.fhi
+	case fFloatNe:
+		return v != t.flo
+	case fFloatNotRange:
+		return v < t.flo || v > t.fhi
 	default:
 		return false
 	}
@@ -71,23 +102,33 @@ type dimFilter struct {
 	ftest
 }
 
-// aggPlan is one compiled aggregate: its kind, the scanned column slot it
-// reads (-1 for Count) and whether the raw word needs IEEE decoding.
+// aggPlan is one compiled aggregate: its kind, the column slot it reads
+// (-1 for Count/CountIf; fact scan slots first, join payload slots after)
+// and whether the raw word needs IEEE decoding. CountIf carries the
+// compiled condition and the slot it tests.
 type aggPlan struct {
-	kind   aggKind
-	slot   int
-	decode bool
+	kind     aggKind
+	slot     int
+	decode   bool
+	cond     *ftest
+	condSlot int
 }
 
-// semiPlan is a compiled semi-join: where to probe on the fact side and how
-// to build the key set from the dimension.
-type semiPlan struct {
-	dim       *oltp.TableHandle
-	probeSlot int
-	keyCol    int
-	preds     []dimFilter
-	// words is the per-row broadcast width in 8-byte words (key plus each
-	// distinct predicate column), charged to the cost model as build bytes.
+// jkey is a composite join key (unused trailing slots stay zero; the key
+// width is fixed per plan so they never collide).
+type jkey [maxJoinCols]int64
+
+// joinPlan is a compiled hash join: where to probe on the fact side and
+// how to build the key→payload table from the dimension.
+type joinPlan struct {
+	dim        *oltp.TableHandle
+	probeSlots []int // fact scan slots of the key columns
+	keyCols    []int // dimension physical columns of the keys
+	payCols    []int // dimension physical columns of the projected payload
+	preds      []dimFilter
+	// words is the per-row broadcast width in 8-byte words — the distinct
+	// dimension columns touched (keys, payload, predicate columns) —
+	// charged to the cost model as build bytes.
 	words int
 }
 
@@ -100,10 +141,21 @@ type Compiled struct {
 	fact    string
 	cols    []int
 	filters []filter
-	semi    *semiPlan
-	groups  []int // slots of the group-key columns
+	join    *joinPlan
+	groups  []int // slots of the group-key columns (fact or payload)
 	aggs    []aggPlan
 	outCols []string
+	having  []havingFilter
+	order   olap.Order
+	ordered bool
+	limit   int
+}
+
+// havingFilter is a compiled post-aggregation predicate over one output
+// column (by index into the emitted row).
+type havingFilter struct {
+	col int
+	ftest
 }
 
 // Name implements olap.Query.
@@ -118,35 +170,64 @@ func (c *Compiled) FactTable() string { return c.fact }
 // Columns implements olap.Query.
 func (c *Compiled) Columns() []int { return c.cols }
 
-// Prepare implements olap.Query: it builds the semi-join key set from the
-// dimension's active instance (dimensions are static under the
-// transactional workload) and reports its broadcast volume.
+// Prepare implements olap.Query: it builds the join's key→payload table
+// from the dimension's active instance (dimensions are static under the
+// transactional workload) and reports its broadcast volume. Single-column
+// keys hash raw int64 words; composite keys hash a fixed-width array.
+// Payload rows share one slab so a large build side costs one allocation
+// per growth, not one per key.
 func (c *Compiled) Prepare() (olap.Exec, int64) {
 	e := &exec{c: c}
 	var buildBytes int64
-	if c.semi != nil {
-		dt := c.semi.dim.Table()
+	if j := c.join; j != nil {
+		dt := j.dim.Table()
 		rows := dt.Rows()
-		e.build = make(map[int64]struct{}, rows)
+		npay := len(j.payCols)
+		single := len(j.keyCols) == 1
+		if single {
+			e.build1 = make(map[int64][]int64, rows)
+		} else {
+			e.buildK = make(map[jkey][]int64, rows)
+		}
+		slab := make([]int64, 0, int(rows)*npay)
 	dim:
 		for r := int64(0); r < rows; r++ {
-			for i := range c.semi.preds {
-				f := &c.semi.preds[i]
+			for i := range j.preds {
+				f := &j.preds[i]
 				if !f.match(dt.ReadActive(r, f.col)) {
 					continue dim
 				}
 			}
-			e.build[dt.ReadActive(r, c.semi.keyCol)] = struct{}{}
+			var pay []int64
+			if npay > 0 {
+				start := len(slab)
+				for _, pc := range j.payCols {
+					slab = append(slab, dt.ReadActive(r, pc))
+				}
+				pay = slab[start:len(slab):len(slab)]
+			}
+			if single {
+				e.build1[dt.ReadActive(r, j.keyCols[0])] = pay
+			} else {
+				var k jkey
+				for d, kc := range j.keyCols {
+					k[d] = dt.ReadActive(r, kc)
+				}
+				e.buildK[k] = pay
+			}
 		}
-		buildBytes = rows * int64(c.semi.words) * columnar.WordBytes
+		buildBytes = rows * int64(j.words) * columnar.WordBytes
 	}
 	return e, buildBytes
 }
 
 // Bind compiles the plan against a catalog: table and column names resolve
 // to physical indexes, predicates specialize to the column types, and the
-// work class is fixed from the plan shape. The returned query is reusable
-// across executions; the semi-join build side is re-read at each Prepare.
+// work class is fixed from the plan shape. Join payload columns resolve
+// against the dimension's schema and occupy virtual slots after the fact
+// scan list, so downstream group-by and aggregation address them exactly
+// like scanned columns. The returned query is reusable across executions;
+// the join build side is re-read at each Prepare.
 func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 	if p == nil {
 		return nil, fmt.Errorf("query: nil plan")
@@ -167,21 +248,58 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		return nil, fmt.Errorf("query: plan %q has no aggregates; add Agg(query.Count()) at minimum", p.Name())
 	}
 
+	// Resolve the join dimension first: payload names must be known before
+	// the fact scan list forms, so they stay out of it.
+	var dh *oltp.TableHandle
+	var dt *columnar.Table
+	var dschema columnar.Schema
+	isPayload := map[string]bool{}
+	if p.join != nil {
+		dh = cat.Handle(p.join.dim)
+		if dh == nil {
+			return nil, fmt.Errorf("query: unknown dimension table %q", p.join.dim)
+		}
+		dt = dh.Table()
+		dschema = dt.Schema()
+		for _, pc := range p.join.payload {
+			idx := dschema.ColumnIndex(pc)
+			if idx < 0 {
+				return nil, fmt.Errorf("query: dimension %q has no column %q", p.join.dim, pc)
+			}
+			if dschema.Columns[idx].Type == columnar.String {
+				return nil, fmt.Errorf("query: join payload column %q is a string; only int64 and float64 payloads project", pc)
+			}
+			if schema.ColumnIndex(pc) >= 0 {
+				return nil, fmt.Errorf("query: join payload column %q is ambiguous: fact table %q has a column of the same name", pc, p.table)
+			}
+			isPayload[pc] = true
+		}
+	}
+
 	// Assemble the scan list: explicit projection order, or reference
-	// order (filters, probe key, group keys, aggregate inputs).
+	// order (filters, probe keys, group keys, aggregate inputs). Join
+	// payload columns never scan — the probe materializes them.
 	var refs []string
 	seen := map[string]bool{}
 	addRef := func(col string) {
-		if col != "" && !seen[col] {
+		if col != "" && !seen[col] && !isPayload[col] {
 			seen[col] = true
 			refs = append(refs, col)
 		}
 	}
 	for _, pr := range p.preds {
+		if isPayload[pr.col] {
+			return nil, fmt.Errorf("query: Filter on join payload column %q; use JoinFilter (build side) or Having (after aggregation)", pr.col)
+		}
 		addRef(pr.col)
 	}
-	if p.semi != nil {
-		addRef(p.semi.factKey)
+	if p.join != nil {
+		for _, fk := range p.join.factKeys {
+			if isPayload[fk] {
+				return nil, fmt.Errorf("query: join fact key %q is itself a payload column", fk)
+			}
+			addRef(fk)
+		}
 	}
 	for _, g := range p.groups {
 		addRef(g)
@@ -222,6 +340,15 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.cols[i] = idx
 		slots[name] = i
 	}
+	// Payload columns take virtual slots after the scanned fact columns;
+	// the probe fills their vectors per block.
+	payType := map[string]columnar.Type{}
+	if p.join != nil {
+		for i, pc := range p.join.payload {
+			slots[pc] = len(scan) + i
+			payType[pc] = dschema.Columns[dschema.ColumnIndex(pc)].Type
+		}
+	}
 
 	for _, pr := range p.preds {
 		test, err := compileTest(tab, schema, pr)
@@ -231,12 +358,19 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.filters = append(c.filters, filter{slot: slots[pr.col], ftest: test})
 	}
 
-	if p.semi != nil {
-		sp, err := compileSemi(cat, p, slots)
+	if p.join != nil {
+		jp, err := compileJoin(p, schema, dh, slots)
 		if err != nil {
 			return nil, err
 		}
-		c.semi = sp
+		c.join = jp
+	}
+
+	colType := func(name string) columnar.Type {
+		if t, ok := payType[name]; ok {
+			return t
+		}
+		return schema.Columns[c.cols[slots[name]]].Type
 	}
 
 	for _, g := range p.groups {
@@ -244,8 +378,8 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		if !ok {
 			return nil, fmt.Errorf("query: group column %q missing from the scan list", g)
 		}
-		if schema.Columns[c.cols[idx]].Type != columnar.Int64 {
-			return nil, fmt.Errorf("query: group column %q is %v; only int64 keys are supported", g, schema.Columns[c.cols[idx]].Type)
+		if colType(g) != columnar.Int64 {
+			return nil, fmt.Errorf("query: group column %q is %v; only int64 keys are supported", g, colType(g))
 		}
 		c.groups = append(c.groups, idx)
 	}
@@ -254,13 +388,31 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.outCols = append(c.outCols, g)
 	}
 	for _, a := range p.aggs {
-		ap := aggPlan{kind: a.kind, slot: -1}
-		if a.kind != aggCount {
+		ap := aggPlan{kind: a.kind, slot: -1, condSlot: -1}
+		switch a.kind {
+		case aggCount:
+		case aggCountIf:
+			slot, ok := slots[a.cond.col]
+			if !ok {
+				return nil, fmt.Errorf("query: CountIf over unknown column %q", a.cond.col)
+			}
+			var test ftest
+			var err error
+			if isPayload[a.cond.col] {
+				test, err = compileTest(dt, dschema, *a.cond)
+			} else {
+				test, err = compileTest(tab, schema, *a.cond)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ap.cond, ap.condSlot = &test, slot
+		default:
 			slot, ok := slots[a.col]
 			if !ok {
 				return nil, fmt.Errorf("query: aggregate %v over unknown column %q", a.kind, a.col)
 			}
-			switch schema.Columns[c.cols[slot]].Type {
+			switch colType(a.col) {
 			case columnar.Int64:
 			case columnar.Float64:
 				ap.decode = true
@@ -272,39 +424,83 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.aggs = append(c.aggs, ap)
 		c.outCols = append(c.outCols, a.outName())
 	}
+
+	outIndex := func(name string) int {
+		for i, n := range c.outCols {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, pr := range p.having {
+		col := outIndex(pr.col)
+		if col < 0 {
+			return nil, fmt.Errorf("query: Having column %q is not an output column (have %v)", pr.col, c.outCols)
+		}
+		test, err := compileFloatTest(pr)
+		if err != nil {
+			return nil, err
+		}
+		c.having = append(c.having, havingFilter{col: col, ftest: test})
+	}
+	if p.orderCol != "" {
+		col := outIndex(p.orderCol)
+		if col < 0 {
+			return nil, fmt.Errorf("query: OrderBy column %q is not an output column (have %v)", p.orderCol, c.outCols)
+		}
+		c.ordered = true
+		c.order = olap.Order{Col: col, Desc: p.orderDesc}
+		c.limit = p.limit
+	} else if p.limit > 0 {
+		return nil, fmt.Errorf("query: Limit without OrderBy would be non-deterministic; add OrderBy")
+	}
 	return c, nil
 }
 
-// compileSemi resolves the semi-join's dimension side.
-func compileSemi(cat Catalog, p *Plan, slots map[string]int) (*semiPlan, error) {
-	dh := cat.Handle(p.semi.dim)
-	if dh == nil {
-		return nil, fmt.Errorf("query: unknown dimension table %q", p.semi.dim)
-	}
+// compileJoin resolves the join's dimension side: key columns (int64 on
+// both sides), payload columns and build-side predicates.
+func compileJoin(p *Plan, schema columnar.Schema, dh *oltp.TableHandle, slots map[string]int) (*joinPlan, error) {
+	j := p.join
 	dt := dh.Table()
 	dschema := dt.Schema()
-	keyCol := dschema.ColumnIndex(p.semi.dimKey)
-	if keyCol < 0 {
-		return nil, fmt.Errorf("query: dimension %q has no column %q", p.semi.dim, p.semi.dimKey)
+	jp := &joinPlan{dim: dh}
+	touched := map[int]bool{}
+	for i, fk := range j.factKeys {
+		slot := slots[fk]
+		if schema.Columns[schema.ColumnIndex(fk)].Type != columnar.Int64 {
+			return nil, fmt.Errorf("query: join fact key %q is not int64", fk)
+		}
+		kc := dschema.ColumnIndex(j.dimKeys[i])
+		if kc < 0 {
+			return nil, fmt.Errorf("query: dimension %q has no column %q", j.dim, j.dimKeys[i])
+		}
+		if dschema.Columns[kc].Type != columnar.Int64 {
+			return nil, fmt.Errorf("query: join dimension key %q is not int64", j.dimKeys[i])
+		}
+		jp.probeSlots = append(jp.probeSlots, slot)
+		jp.keyCols = append(jp.keyCols, kc)
+		touched[kc] = true
 	}
-	sp := &semiPlan{dim: dh, probeSlot: slots[p.semi.factKey], keyCol: keyCol, words: 1}
-	predCols := map[int]bool{}
-	for _, pr := range p.semi.preds {
+	for _, pc := range j.payload {
+		col := dschema.ColumnIndex(pc) // validated in Bind
+		jp.payCols = append(jp.payCols, col)
+		touched[col] = true
+	}
+	for _, pr := range j.preds {
 		col := dschema.ColumnIndex(pr.col)
 		if col < 0 {
-			return nil, fmt.Errorf("query: dimension %q has no column %q", p.semi.dim, pr.col)
+			return nil, fmt.Errorf("query: dimension %q has no column %q", j.dim, pr.col)
 		}
 		test, err := compileTest(dt, dschema, pr)
 		if err != nil {
 			return nil, err
 		}
-		sp.preds = append(sp.preds, dimFilter{col: col, ftest: test})
-		if !predCols[col] {
-			predCols[col] = true
-			sp.words++
-		}
+		jp.preds = append(jp.preds, dimFilter{col: col, ftest: test})
+		touched[col] = true
 	}
-	return sp, nil
+	jp.words = len(touched)
+	return jp, nil
 }
 
 // compileTest specializes a predicate to the column's storage type: int64
@@ -349,6 +545,12 @@ func compileTest(tab *columnar.Table, schema columnar.Schema, pr Pred) (ftest, e
 				return ftest{}, err
 			}
 			t.ilo, t.ihi = lo, hi
+		case opNotBetween:
+			hi, err := toInt64(pr.col, pr.hi)
+			if err != nil {
+				return ftest{}, err
+			}
+			return ftest{kind: fIntNotRange, ilo: lo, ihi: hi}, nil
 		}
 		return t, nil
 	case columnar.Float64:
@@ -376,12 +578,18 @@ func compileTest(tab *columnar.Table, schema columnar.Schema, pr Pred) (ftest, e
 				return ftest{}, err
 			}
 			t.flo, t.fhi = lo, hi
+		case opNotBetween:
+			hi, err := toFloat64(pr.col, pr.hi)
+			if err != nil {
+				return ftest{}, err
+			}
+			return ftest{kind: fFloatNotRange, flo: lo, fhi: hi}, nil
 		}
 		return t, nil
 	case columnar.String:
 		s, ok := pr.lo.(string)
 		if !ok {
-			return ftest{}, fmt.Errorf("query: string column %q compared with %T", pr.col, pr.lo)
+			return ftest{}, fmt.Errorf("query: string column %q compared with %v (%T): %w", pr.col, pr.lo, pr.lo, ErrPredType)
 		}
 		if pr.op != opEq && pr.op != opNe {
 			return ftest{}, fmt.Errorf("query: string column %q supports only Eq/Ne, got %v", pr.col, pr.op)
@@ -399,6 +607,41 @@ func compileTest(tab *columnar.Table, schema columnar.Schema, pr Pred) (ftest, e
 		return ftest{kind: fIntNe, ilo: code}, nil
 	}
 	return ftest{}, fmt.Errorf("query: unsupported predicate %v on column %q", pr.op, pr.col)
+}
+
+// compileFloatTest specializes a predicate for float64 result cells — the
+// Having path, where every emitted value (group keys included) is already
+// a decoded float64.
+func compileFloatTest(pr Pred) (ftest, error) {
+	lo, err := toFloat64(pr.col, pr.lo)
+	if err != nil {
+		return ftest{}, err
+	}
+	t := ftest{kind: fFloatRange, flo: math.Inf(-1), fhi: math.Inf(1)}
+	switch pr.op {
+	case opEq:
+		t.flo, t.fhi = lo, lo
+	case opNe:
+		return ftest{kind: fFloatNe, flo: lo}, nil
+	case opGt:
+		t.flo = math.Nextafter(lo, math.Inf(1))
+	case opGe:
+		t.flo = lo
+	case opLt:
+		t.fhi = math.Nextafter(lo, math.Inf(-1))
+	case opLe:
+		t.fhi = lo
+	case opBetween, opNotBetween:
+		hi, err := toFloat64(pr.col, pr.hi)
+		if err != nil {
+			return ftest{}, err
+		}
+		if pr.op == opNotBetween {
+			return ftest{kind: fFloatNotRange, flo: lo, fhi: hi}, nil
+		}
+		t.flo, t.fhi = lo, hi
+	}
+	return t, nil
 }
 
 func toInt64(col string, v any) (int64, error) {
@@ -421,11 +664,11 @@ func toInt64(col string, v any) (int64, error) {
 		return int64(x), nil
 	case float64:
 		if x != float64(int64(x)) {
-			return 0, fmt.Errorf("query: non-integral value %v for int64 column %q", x, col)
+			return 0, fmt.Errorf("query: non-integral value %v for int64 column %q: %w", x, col, ErrPredType)
 		}
 		return int64(x), nil
 	default:
-		return 0, fmt.Errorf("query: value %v (%T) unusable for int64 column %q", v, v, col)
+		return 0, fmt.Errorf("query: value %v (%T) unusable for int64 column %q: %w", v, v, col, ErrPredType)
 	}
 }
 
@@ -440,7 +683,7 @@ func toFloat64(col string, v any) (float64, error) {
 	case int64:
 		return float64(x), nil
 	default:
-		return 0, fmt.Errorf("query: value %v (%T) unusable for float64 column %q", v, v, col)
+		return 0, fmt.Errorf("query: value %v (%T) unusable for float64 column %q: %w", v, v, col, ErrPredType)
 	}
 }
 
@@ -475,12 +718,16 @@ type acc struct {
 }
 
 type exec struct {
-	c     *Compiled
-	build map[int64]struct{}
-	// scratch pools selection-vector and accumulator-row buffers across
-	// the task's morsels and workers: locals are per-morsel (for the
-	// engine's deterministic ordered merge), so reusable scratch must live
-	// with the exec, not the local.
+	c *Compiled
+	// Join build side: single-column keys hash raw words (build1),
+	// composite keys hash fixed-width arrays (buildK). Values are the
+	// projected payload words (nil for semi-joins).
+	build1 map[int64][]int64
+	buildK map[jkey][]int64
+	// scratch pools selection-vector, payload-vector and accumulator-row
+	// buffers across the task's morsels and workers: locals are per-morsel
+	// (for the engine's deterministic ordered merge), so reusable scratch
+	// must live with the exec, not the local.
 	scratch sync.Pool
 }
 
@@ -489,6 +736,8 @@ type exec struct {
 type scratchBufs struct {
 	sel  []int32
 	rows [][]acc
+	pay  [][]int64
+	cols [][]int64
 }
 
 func (e *exec) getScratch() *scratchBufs {
@@ -496,6 +745,22 @@ func (e *exec) getScratch() *scratchBufs {
 		return s
 	}
 	return &scratchBufs{}
+}
+
+// payloadVecs returns npay vectors of length n for the probe to fill at
+// surviving row indexes; downstream kernels index them like block columns.
+func (s *scratchBufs) payloadVecs(npay, n int) [][]int64 {
+	if cap(s.pay) < npay {
+		s.pay = make([][]int64, npay)
+	}
+	s.pay = s.pay[:npay]
+	for k := range s.pay {
+		if cap(s.pay[k]) < n {
+			s.pay[k] = make([]int64, n)
+		}
+		s.pay[k] = s.pay[k][:n]
+	}
+	return s.pay
 }
 
 type local struct {
@@ -540,10 +805,11 @@ func (l *local) ensureDense(k int64, nagg int) {
 }
 
 // Consume implements olap.Local. Execution is columnar: each filter runs
-// as a tight range loop producing/compacting a selection vector, the
-// semi-join probes the surviving rows, and each aggregate then updates in
-// its own pass — so per-row work never dispatches through interfaces or
-// closures (the pushdown the builder promises).
+// as a tight range loop producing/compacting a selection vector, the hash
+// join probes the surviving rows (materializing payload vectors for full
+// joins), and each aggregate then updates in its own pass — so per-row
+// work never dispatches through interfaces or closures (the pushdown the
+// builder promises).
 func (l *local) Consume(b olap.Block) {
 	c := l.e.c
 	sc := l.e.getScratch()
@@ -564,15 +830,52 @@ func (l *local) Consume(b olap.Block) {
 			}
 		}
 	}
-	if c.semi != nil {
-		vec := b.Cols[c.semi.probeSlot]
+	if len(sel) == 0 {
+		sc.sel = sel // retain scratch capacity
+		return
+	}
+	cols := b.Cols
+	if j := c.join; j != nil {
+		npay := len(j.payCols)
+		var pay [][]int64
+		if npay > 0 {
+			pay = sc.payloadVecs(npay, b.N)
+		}
 		out := sel[:0]
-		for _, i := range sel {
-			if _, ok := l.e.build[vec[i]]; ok {
+		if len(j.probeSlots) == 1 {
+			vec := b.Cols[j.probeSlots[0]]
+			for _, i := range sel {
+				v, ok := l.e.build1[vec[i]]
+				if !ok {
+					continue
+				}
+				for k := 0; k < npay; k++ {
+					pay[k][i] = v[k]
+				}
+				out = append(out, i)
+			}
+		} else {
+			for _, i := range sel {
+				var k jkey
+				for d, s := range j.probeSlots {
+					k[d] = b.Cols[s][i]
+				}
+				v, ok := l.e.buildK[k]
+				if !ok {
+					continue
+				}
+				for pi := 0; pi < npay; pi++ {
+					pay[pi][i] = v[pi]
+				}
 				out = append(out, i)
 			}
 		}
 		sel = out
+		if npay > 0 {
+			cols = append(sc.cols[:0], b.Cols...)
+			cols = append(cols, pay...)
+			sc.cols = cols[:0]
+		}
 	}
 	sc.sel = sel // retain scratch capacity
 	if len(sel) == 0 {
@@ -580,11 +883,11 @@ func (l *local) Consume(b olap.Block) {
 	}
 
 	if l.global != nil {
-		l.updateAccs(b, sel, nil)
+		l.updateAccs(cols, sel, nil)
 		return
 	}
 	if l.dense {
-		l.updateDense(b, sel)
+		l.updateDense(cols, sel)
 		return
 	}
 	// Composite keys: resolve each selected row's accumulator row once,
@@ -593,12 +896,12 @@ func (l *local) Consume(b olap.Block) {
 	for _, i := range sel {
 		var k gkey
 		for j, s := range c.groups {
-			k[j] = b.Cols[s][i]
+			k[j] = cols[s][i]
 		}
 		rows = append(rows, l.lookupSpill(k))
 	}
 	sc.rows = rows
-	l.updateAccs(b, sel, rows)
+	l.updateAccs(cols, sel, rows)
 }
 
 // denseAt returns the j-th accumulator of key k: flat-array for keys the
@@ -613,10 +916,10 @@ func (l *local) denseAt(k int64, j, nagg int) *acc {
 // updateDense is the single-key group path: accumulators live in one flat
 // array indexed by key*naggs, out-of-range keys spill to the map. The
 // aggregate kind dispatch is hoisted out of the row loops.
-func (l *local) updateDense(b olap.Block, sel []int32) {
+func (l *local) updateDense(cols [][]int64, sel []int32) {
 	c := l.e.c
 	nagg := len(c.aggs)
-	kvec := b.Cols[c.groups[0]]
+	kvec := cols[c.groups[0]]
 	maxk := int64(-1)
 	for _, i := range sel {
 		if k := kvec[i]; uint64(k) < denseLen && k > maxk {
@@ -638,8 +941,19 @@ func (l *local) updateDense(b olap.Block, sel []int32) {
 			for _, i := range sel {
 				l.denseAt(kvec[i], j, nagg).count++
 			}
+		case a.kind == aggCountIf:
+			cvec := cols[a.condSlot]
+			for _, i := range sel {
+				// Touch the accumulator unconditionally: a spill-range
+				// group whose rows all fail the condition must still
+				// exist (and emit 0), exactly like a dense-range one.
+				st := l.denseAt(kvec[i], j, nagg)
+				if a.cond.match(cvec[i]) {
+					st.count++
+				}
+			}
 		case a.kind == aggSum || a.kind == aggAvg:
-			vec := b.Cols[a.slot]
+			vec := cols[a.slot]
 			if a.decode {
 				for _, i := range sel {
 					st := l.denseAt(kvec[i], j, nagg)
@@ -654,7 +968,7 @@ func (l *local) updateDense(b olap.Block, sel []int32) {
 				}
 			}
 		default: // aggMin, aggMax
-			vec := b.Cols[a.slot]
+			vec := cols[a.slot]
 			isMin := a.kind == aggMin
 			for _, i := range sel {
 				st := l.denseAt(kvec[i], j, nagg)
@@ -687,12 +1001,12 @@ func (l *local) lookupSpill(k gkey) []acc {
 // the accumulator row for sel[ri]; nil rows means the ungrouped global
 // accumulators. Each accumulator sees its updates in row order, so totals
 // are bit-identical to a row-at-a-time evaluation.
-func (l *local) updateAccs(b olap.Block, sel []int32, rows [][]acc) {
+func (l *local) updateAccs(cols [][]int64, sel []int32, rows [][]acc) {
 	c := l.e.c
 	for j := range c.aggs {
 		a := &c.aggs[j]
 		if rows == nil {
-			l.updateGlobal(b, sel, j)
+			l.updateGlobal(cols, sel, j)
 			continue
 		}
 		if a.kind == aggCount {
@@ -701,7 +1015,16 @@ func (l *local) updateAccs(b olap.Block, sel []int32, rows [][]acc) {
 			}
 			continue
 		}
-		vec := b.Cols[a.slot]
+		if a.kind == aggCountIf {
+			cvec := cols[a.condSlot]
+			for ri, i := range sel {
+				if a.cond.match(cvec[i]) {
+					rows[ri][j].count++
+				}
+			}
+			continue
+		}
+		vec := cols[a.slot]
 		for ri, i := range sel {
 			st := &rows[ri][j]
 			v := float64(vec[i])
@@ -729,14 +1052,21 @@ func (l *local) updateAccs(b olap.Block, sel []int32, rows [][]acc) {
 
 // updateGlobal streams one ungrouped aggregate over the selection with
 // register accumulation (the hot path for ScanReduce plans like Q6).
-func (l *local) updateGlobal(b olap.Block, sel []int32, j int) {
+func (l *local) updateGlobal(cols [][]int64, sel []int32, j int) {
 	a := &l.e.c.aggs[j]
 	st := &l.global[j]
 	switch a.kind {
 	case aggCount:
 		st.count += int64(len(sel))
+	case aggCountIf:
+		cvec := cols[a.condSlot]
+		for _, i := range sel {
+			if a.cond.match(cvec[i]) {
+				st.count++
+			}
+		}
 	case aggSum, aggAvg:
-		vec := b.Cols[a.slot]
+		vec := cols[a.slot]
 		s := st.sum
 		if a.decode {
 			for _, i := range sel {
@@ -750,7 +1080,7 @@ func (l *local) updateGlobal(b olap.Block, sel []int32, j int) {
 		st.sum = s
 		st.count += int64(len(sel))
 	case aggMin:
-		vec := b.Cols[a.slot]
+		vec := cols[a.slot]
 		for _, i := range sel {
 			v := float64(vec[i])
 			if a.decode {
@@ -762,7 +1092,7 @@ func (l *local) updateGlobal(b olap.Block, sel []int32, j int) {
 			}
 		}
 	case aggMax:
-		vec := b.Cols[a.slot]
+		vec := cols[a.slot]
 		for _, i := range sel {
 			v := float64(vec[i])
 			if a.decode {
@@ -793,6 +1123,13 @@ func filterAll(t *ftest, vec []int64, n int, sel []int32) []int32 {
 				sel = append(sel, int32(i))
 			}
 		}
+	case fIntNotRange:
+		lo, hi := t.ilo, t.ihi
+		for i := 0; i < n; i++ {
+			if w := vec[i]; w < lo || w > hi {
+				sel = append(sel, int32(i))
+			}
+		}
 	case fFloatRange:
 		lo, hi := t.flo, t.fhi
 		for i := 0; i < n; i++ {
@@ -804,6 +1141,13 @@ func filterAll(t *ftest, vec []int64, n int, sel []int32) []int32 {
 		v := t.flo
 		for i := 0; i < n; i++ {
 			if columnar.DecodeFloat(vec[i]) != v {
+				sel = append(sel, int32(i))
+			}
+		}
+	case fFloatNotRange:
+		lo, hi := t.flo, t.fhi
+		for i := 0; i < n; i++ {
+			if d := columnar.DecodeFloat(vec[i]); d < lo || d > hi {
 				sel = append(sel, int32(i))
 			}
 		}
@@ -829,6 +1173,13 @@ func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
 				out = append(out, i)
 			}
 		}
+	case fIntNotRange:
+		lo, hi := t.ilo, t.ihi
+		for _, i := range sel {
+			if w := vec[i]; w < lo || w > hi {
+				out = append(out, i)
+			}
+		}
 	case fFloatRange:
 		lo, hi := t.flo, t.fhi
 		for _, i := range sel {
@@ -843,6 +1194,13 @@ func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
 				out = append(out, i)
 			}
 		}
+	case fFloatNotRange:
+		lo, hi := t.flo, t.fhi
+		for _, i := range sel {
+			if d := columnar.DecodeFloat(vec[i]); d < lo || d > hi {
+				out = append(out, i)
+			}
+		}
 	}
 	return out
 }
@@ -850,7 +1208,11 @@ func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
 // Merge implements olap.Exec: the engine passes per-morsel partials in
 // morsel order, so combining them in slice order yields bit-identical
 // float totals across runs, worker counts and work stealing; grouped
-// rows emit sorted ascending by key for a stable output order.
+// rows emit sorted ascending by key for a stable output order. Having
+// predicates then drop rows, and an OrderBy re-sorts the survivors under
+// the plan's total order (bounded-heap top-k when Limit is set) — both
+// over fully merged, deterministic values, so ordered results stay
+// bitwise reproducible too.
 func (e *exec) Merge(locals []olap.Local) olap.Result {
 	c := e.c
 	res := olap.Result{Cols: c.outCols}
@@ -860,7 +1222,7 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 			mergeAccs(total, li.(*local).global, c.aggs)
 		}
 		res.Rows = [][]float64{emitRow(c, gkey{}, total)}
-		return res
+		return e.finish(res)
 	}
 	total := make(map[gkey][]acc)
 	var keys []gkey
@@ -898,13 +1260,38 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 	for _, k := range keys {
 		res.Rows = append(res.Rows, emitRow(c, k, total[k]))
 	}
+	return e.finish(res)
+}
+
+// finish applies the post-aggregation stages: Having over emitted rows,
+// then the ordered (top-k) merge.
+func (e *exec) finish(res olap.Result) olap.Result {
+	c := e.c
+	if len(c.having) > 0 {
+		kept := res.Rows[:0]
+	rows:
+		for _, row := range res.Rows {
+			for i := range c.having {
+				h := &c.having[i]
+				if !h.fmatch(row[h.col]) {
+					continue rows
+				}
+			}
+			kept = append(kept, row)
+		}
+		res.Rows = kept
+	}
+	if c.ordered {
+		res.SortedRows = int64(len(res.Rows))
+		res.Rows = olap.SortRows(res.Rows, c.order, c.limit)
+	}
 	return res
 }
 
 func mergeAccs(dst, src []acc, aggs []aggPlan) {
 	for j := range aggs {
 		switch aggs[j].kind {
-		case aggCount:
+		case aggCount, aggCountIf:
 			dst[j].count += src[j].count
 		case aggSum, aggAvg:
 			dst[j].sum += src[j].sum
@@ -931,7 +1318,7 @@ func emitRow(c *Compiled, k gkey, accs []acc) []float64 {
 	for j, a := range c.aggs {
 		st := accs[j]
 		switch a.kind {
-		case aggCount:
+		case aggCount, aggCountIf:
 			row = append(row, float64(st.count))
 		case aggSum:
 			row = append(row, st.sum)

@@ -1,23 +1,29 @@
 // Package query is a declarative, logical-plan query builder for
 // elastichtap. A Plan describes an analytical query as relational-algebra
-// steps over one fact table — scan, filter (σ), semi-join against a
-// dimension, group-by (γ) and aggregate — and compiles onto the OLAP
-// engine's generic executor with predicate pushdown into block consumption
-// and per-worker partial aggregates merged at the end.
+// steps over one fact table — scan, filter (σ), an inner or semi hash join
+// against a dimension, group-by (γ), aggregate, post-aggregation filter
+// (HAVING) and an ordered top-k — and compiles onto the OLAP engine's
+// generic executor with predicate pushdown into block consumption and
+// per-morsel partial aggregates merged deterministically at the end.
 //
 // Plans are built fluently:
 //
 //	p := query.Scan("orderline").
-//		Filter(query.Ge("ol_delivery_d", today)).
-//		GroupBy("ol_w_id").
-//		Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+//		Join("orders", "ol_w_id", "o_w_id", "o_entry_d").
+//		On("ol_d_id", "o_d_id").On("ol_o_id", "o_id").
+//		JoinFilter(query.Eq("o_carrier_id", 0)).
+//		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
+//		Agg(query.Sum("ol_amount").As("revenue")).
+//		OrderBy("revenue", true).
+//		Limit(10)
 //	q, err := p.Bind(db) // db is any Catalog, e.g. *ch.DB
 //
 // The compiled query implements olap.Query, so it flows through the
 // adaptive scheduler like the hand-written CH-benCHmark queries: the work
 // class for the cost model (Algorithm 2's state choice) is inferred from
-// the plan shape — JoinProbe when a semi-join is present, ScanGroupBy when
-// grouped, ScanReduce otherwise.
+// the plan shape — JoinProject for a payload-projecting join, JoinProbe
+// for an existence-only semi-join, ScanGroupBy when grouped, ScanReduce
+// otherwise — and the ordered merge's sort volume is charged per row.
 //
 // Construction errors (unknown columns, type mismatches) accumulate in the
 // plan and surface at Bind, so fluent chains never need mid-expression
@@ -33,6 +39,10 @@ import (
 // maxGroupCols bounds the composite group key width.
 const maxGroupCols = 4
 
+// maxJoinCols bounds the composite join key width (TPC-C primary keys use
+// at most three columns: warehouse, district, sequence).
+const maxJoinCols = 3
+
 // op enumerates predicate comparisons.
 type op int8
 
@@ -44,6 +54,7 @@ const (
 	opLt
 	opLe
 	opBetween
+	opNotBetween
 )
 
 func (o op) String() string {
@@ -62,6 +73,8 @@ func (o op) String() string {
 		return "<="
 	case opBetween:
 		return "between"
+	case opNotBetween:
+		return "not between"
 	default:
 		return fmt.Sprintf("op(%d)", int8(o))
 	}
@@ -82,8 +95,8 @@ type Pred struct {
 func (p Pred) Col() string { return p.col }
 
 func (p Pred) String() string {
-	if p.op == opBetween {
-		return fmt.Sprintf("%s between %v and %v", p.col, p.lo, p.hi)
+	if p.op == opBetween || p.op == opNotBetween {
+		return fmt.Sprintf("%s %v %v and %v", p.col, p.op, p.lo, p.hi)
 	}
 	return fmt.Sprintf("%s %v %v", p.col, p.op, p.lo)
 }
@@ -109,6 +122,31 @@ func Le(col string, v any) Pred { return Pred{col: col, op: opLe, lo: v} }
 // Between matches rows where lo <= col <= hi (both ends inclusive).
 func Between(col string, lo, hi any) Pred { return Pred{col: col, op: opBetween, lo: lo, hi: hi} }
 
+// Not negates a predicate. Ordered comparisons flip (Not(Gt) is Le),
+// equality flips to inequality and vice versa, and Between becomes an
+// outside-the-range test.
+func Not(p Pred) Pred {
+	switch p.op {
+	case opEq:
+		p.op = opNe
+	case opNe:
+		p.op = opEq
+	case opGt:
+		p.op = opLe
+	case opGe:
+		p.op = opLt
+	case opLt:
+		p.op = opGe
+	case opLe:
+		p.op = opGt
+	case opBetween:
+		p.op = opNotBetween
+	case opNotBetween:
+		p.op = opBetween
+	}
+	return p
+}
+
 // aggKind enumerates aggregate functions.
 type aggKind int8
 
@@ -118,6 +156,7 @@ const (
 	aggMin
 	aggMax
 	aggCount
+	aggCountIf
 )
 
 func (k aggKind) String() string {
@@ -132,17 +171,20 @@ func (k aggKind) String() string {
 		return "max"
 	case aggCount:
 		return "count"
+	case aggCountIf:
+		return "count_if"
 	default:
 		return fmt.Sprintf("agg(%d)", int8(k))
 	}
 }
 
-// Agg is one aggregate output column. Build with Sum, Avg, Min, Max or
-// Count, and optionally rename with As.
+// Agg is one aggregate output column. Build with Sum, Avg, Min, Max,
+// Count or CountIf, and optionally rename with As.
 type Agg struct {
 	kind aggKind
 	col  string
 	name string
+	cond *Pred // aggCountIf: counted only where cond holds
 }
 
 // Sum totals a numeric column over each group.
@@ -160,6 +202,12 @@ func Max(col string) Agg { return Agg{kind: aggMax, col: col} }
 // Count counts the rows in each group.
 func Count() Agg { return Agg{kind: aggCount} }
 
+// CountIf counts the rows in each group satisfying cond — SQL's
+// COUNT(CASE WHEN cond THEN 1 END). The condition may test a scanned fact
+// column or a join payload column; combine with Not for the complement
+// bucket.
+func CountIf(cond Pred) Agg { return Agg{kind: aggCountIf, col: cond.col, cond: &cond} }
+
 // As renames the aggregate's output column.
 func (a Agg) As(name string) Agg { a.name = name; return a }
 
@@ -174,27 +222,35 @@ func (a Agg) outName() string {
 	return fmt.Sprintf("%s_%s", a.kind, a.col)
 }
 
-// semiSpec is a semi-join step: keep fact rows whose factKey appears in the
-// dimension's dimKey column among dimension rows passing preds.
-type semiSpec struct {
-	dim     string
-	factKey string
-	dimKey  string
-	preds   []Pred
+// joinSpec is a hash-join step against one dimension table: fact rows whose
+// factKeys match dimKeys in some dimension row passing preds survive. With
+// an empty payload the join keeps existence only (SemiJoin); a non-empty
+// payload additionally projects the matched dimension row's columns into
+// the downstream group-by and aggregation.
+type joinSpec struct {
+	dim      string
+	factKeys []string
+	dimKeys  []string
+	payload  []string
+	preds    []Pred
 }
 
 // Plan is a logical analytical query under construction. The zero value is
 // unusable; start from Scan. Methods return the receiver for chaining and
 // record the first construction error for Bind to surface.
 type Plan struct {
-	name     string
-	table    string
-	scanCols []string
-	preds    []Pred
-	semi     *semiSpec
-	groups   []string
-	aggs     []Agg
-	err      error
+	name      string
+	table     string
+	scanCols  []string
+	preds     []Pred
+	join      *joinSpec
+	groups    []string
+	aggs      []Agg
+	having    []Pred
+	orderCol  string
+	orderDesc bool
+	limit     int
+	err       error
 }
 
 // Scan starts a plan over a fact table. The optional cols fix the scan's
@@ -239,17 +295,89 @@ func (p *Plan) Filter(preds ...Pred) *Plan {
 // The dimension rows are read at Prepare time (dimensions are static under
 // the transactional workload) and the build side is charged as broadcast
 // bytes, so the cost model prices it like the paper's broadcast join.
-// At most one semi-join per plan.
+// At most one join (semi or full) per plan; extend composite keys with On.
 func (p *Plan) SemiJoin(dim, factKey, dimKey string, dimPreds ...Pred) *Plan {
-	if p.semi != nil {
-		p.fail(fmt.Errorf("query: plan already has a semi-join (%s)", p.semi.dim))
+	if p.join != nil {
+		p.fail(fmt.Errorf("query: plan already has a join (%s)", p.join.dim))
 		return p
 	}
 	if dim == "" || factKey == "" || dimKey == "" {
 		p.fail(fmt.Errorf("query: SemiJoin needs dimension, fact-key and dim-key names"))
 		return p
 	}
-	p.semi = &semiSpec{dim: dim, factKey: factKey, dimKey: dimKey, preds: dimPreds}
+	p.join = &joinSpec{
+		dim: dim, factKeys: []string{factKey}, dimKeys: []string{dimKey},
+		preds: dimPreds,
+	}
+	return p
+}
+
+// Join is an inner fact-dimension hash join: fact rows whose factKey
+// matches dimKey in some dimension row survive, and the dimension's
+// payloadCols become referenceable downstream — as GroupBy keys, aggregate
+// inputs and CountIf conditions — exactly like scanned fact columns. The
+// dimension key must be unique among rows passing JoinFilter (a primary
+// key); when it is not, the last matching row's payload wins. The build
+// side (keys, payload and predicate columns) is read at Prepare time and
+// charged as broadcast bytes. At most one join (semi or full) per plan;
+// extend composite keys with On and filter the build side with JoinFilter.
+func (p *Plan) Join(dim, factKey, dimKey string, payloadCols ...string) *Plan {
+	if p.join != nil {
+		p.fail(fmt.Errorf("query: plan already has a join (%s)", p.join.dim))
+		return p
+	}
+	if dim == "" || factKey == "" || dimKey == "" {
+		p.fail(fmt.Errorf("query: Join needs dimension, fact-key and dim-key names"))
+		return p
+	}
+	for _, c := range payloadCols {
+		if c == "" {
+			p.fail(fmt.Errorf("query: Join with empty payload column name"))
+			return p
+		}
+	}
+	p.join = &joinSpec{
+		dim: dim, factKeys: []string{factKey}, dimKeys: []string{dimKey},
+		payload: payloadCols,
+	}
+	return p
+}
+
+// On appends a key-column pair to the plan's join, building a composite
+// equi-join key (orderline ⋈ orders matches on warehouse, district and
+// order id). Valid after Join or SemiJoin only.
+func (p *Plan) On(factKey, dimKey string) *Plan {
+	if p.join == nil {
+		p.fail(fmt.Errorf("query: On before Join/SemiJoin"))
+		return p
+	}
+	if factKey == "" || dimKey == "" {
+		p.fail(fmt.Errorf("query: On with empty key name"))
+		return p
+	}
+	if len(p.join.factKeys) >= maxJoinCols {
+		p.fail(fmt.Errorf("query: join key exceeds %d columns", maxJoinCols))
+		return p
+	}
+	p.join.factKeys = append(p.join.factKeys, factKey)
+	p.join.dimKeys = append(p.join.dimKeys, dimKey)
+	return p
+}
+
+// JoinFilter appends predicates over the join's dimension table; only
+// dimension rows passing all of them enter the build side. Valid after
+// Join or SemiJoin only.
+func (p *Plan) JoinFilter(preds ...Pred) *Plan {
+	if p.join == nil {
+		p.fail(fmt.Errorf("query: JoinFilter before Join/SemiJoin"))
+		return p
+	}
+	for _, pr := range preds {
+		if pr.col == "" {
+			p.fail(fmt.Errorf("query: predicate with empty column name"))
+		}
+	}
+	p.join.preds = append(p.join.preds, preds...)
 	return p
 }
 
@@ -281,6 +409,55 @@ func (p *Plan) Agg(aggs ...Agg) *Plan {
 	return p
 }
 
+// Having appends post-aggregation predicates over output columns — group
+// keys or aggregate names (after As renaming). Rows failing any predicate
+// are dropped after the merge, before OrderBy and Limit. Comparisons run
+// in float64 space, the type of every emitted cell.
+func (p *Plan) Having(preds ...Pred) *Plan {
+	for _, pr := range preds {
+		if pr.col == "" {
+			p.fail(fmt.Errorf("query: Having predicate with empty column name"))
+		}
+	}
+	p.having = append(p.having, preds...)
+	return p
+}
+
+// OrderBy sorts the result by an output column — a group key or an
+// aggregate name (after As renaming) — descending when desc is true. Ties
+// break on the remaining output columns ascending, left to right, so the
+// order is total whenever group keys are distinct (always, for grouped
+// plans) and results stay bitwise deterministic under work stealing and
+// mid-query pool resizes.
+func (p *Plan) OrderBy(col string, desc bool) *Plan {
+	if p.orderCol != "" {
+		p.fail(fmt.Errorf("query: OrderBy called twice"))
+		return p
+	}
+	if col == "" {
+		p.fail(fmt.Errorf("query: OrderBy with empty column name"))
+		return p
+	}
+	p.orderCol, p.orderDesc = col, desc
+	return p
+}
+
+// Limit keeps only the first n rows of the ordered result (top-k). It
+// requires OrderBy — an unordered limit would make results depend on
+// morsel interleaving.
+func (p *Plan) Limit(n int) *Plan {
+	if p.limit > 0 {
+		p.fail(fmt.Errorf("query: Limit called twice"))
+		return p
+	}
+	if n <= 0 {
+		p.fail(fmt.Errorf("query: Limit %d, need > 0", n))
+		return p
+	}
+	p.limit = n
+	return p
+}
+
 // Name returns the display name the compiled query will carry.
 func (p *Plan) Name() string {
 	if p.name != "" {
@@ -289,13 +466,18 @@ func (p *Plan) Name() string {
 	return fmt.Sprintf("scan(%s)", p.table)
 }
 
-// Class infers the cost-model work class from the plan shape: a semi-join
-// probes per row (JoinProbe), grouping hashes per row (ScanGroupBy), and a
-// bare filtered aggregation streams (ScanReduce). The scheduler's
-// Algorithm 2 uses this to time the pipeline when choosing S1/S2/S3.
+// Class infers the cost-model work class from the plan shape: a
+// payload-projecting join materializes dimension columns per matched row
+// (JoinProject, the heaviest pipeline), an existence-only semi-join probes
+// per row (JoinProbe), grouping hashes per row (ScanGroupBy), and a bare
+// filtered aggregation streams (ScanReduce). The scheduler's Algorithm 2
+// uses this to time the pipeline when choosing S1/S2/S3; the ordered
+// merge's sort volume is charged separately per merged row.
 func (p *Plan) Class() costmodel.WorkClass {
 	switch {
-	case p.semi != nil:
+	case p.join != nil && len(p.join.payload) > 0:
+		return costmodel.JoinProject
+	case p.join != nil:
 		return costmodel.JoinProbe
 	case len(p.groups) > 0:
 		return costmodel.ScanGroupBy

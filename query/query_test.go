@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -52,12 +53,29 @@ func newFixture(t *testing.T) (Catalog, *oltp.Engine) {
 	product := e.CreateTable(columnar.Schema{Name: "product", Columns: []columnar.ColumnDef{
 		{Name: "pid", Type: columnar.Int64},
 		{Name: "price", Type: columnar.Float64},
+		{Name: "category", Type: columnar.String},
 	}}, 4, false)
 	pt := product.Table()
 	pt.AppendRows([][]int64{
-		pt.EncodeRow(1, 5.25),
-		pt.EncodeRow(2, 3.25),
-		pt.EncodeRow(3, 3.0),
+		pt.EncodeRow(1, 5.25, "tools"),
+		pt.EncodeRow(2, 3.25, "toys"),
+		pt.EncodeRow(3, 3.0, "toys"),
+	}, 0)
+
+	// daily has a composite (day, pid) primary key for multi-column joins.
+	daily := e.CreateTable(columnar.Schema{Name: "daily", Columns: []columnar.ColumnDef{
+		{Name: "day", Type: columnar.Int64},
+		{Name: "pid", Type: columnar.Int64},
+		{Name: "factor", Type: columnar.Int64},
+	}}, 8, false)
+	dt := daily.Table()
+	dt.AppendRows([][]int64{
+		dt.EncodeRow(1, 1, 10),
+		dt.EncodeRow(1, 2, 20),
+		dt.EncodeRow(2, 1, 30),
+		dt.EncodeRow(2, 3, 40),
+		dt.EncodeRow(3, 2, 50),
+		dt.EncodeRow(3, 3, 60),
 	}, 0)
 	return testCatalog{e}, e
 }
@@ -266,7 +284,7 @@ func TestBindErrors(t *testing.T) {
 		{"double-groupby", Scan("sales").GroupBy("day").GroupBy("pid").Agg(Count()), "GroupBy called twice"},
 		{"double-semijoin",
 			Scan("sales").SemiJoin("product", "pid", "pid").SemiJoin("product", "pid", "pid").Agg(Count()),
-			"already has a semi-join"},
+			"already has a join"},
 		{"unknown-dim", Scan("sales").SemiJoin("nope", "pid", "pid").Agg(Count()), "unknown dimension"},
 		{"unknown-dim-col", Scan("sales").SemiJoin("product", "pid", "sku").Agg(Count()), "no column"},
 		{"empty-table", Scan("").Agg(Count()), "empty table"},
@@ -283,5 +301,313 @@ func TestBindErrors(t *testing.T) {
 	var nilPlan *Plan
 	if _, err := nilPlan.Bind(cat); err == nil {
 		t.Error("nil plan bound")
+	}
+}
+
+func TestJoinProjectsPayloadIntoAggregation(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Join("product", "pid", "pid", "price").
+		GroupBy("day").
+		Agg(Sum("price").As("price_sum"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class() != costmodel.JoinProject {
+		t.Fatalf("class = %v, want JoinProject", q.Class())
+	}
+	res := run(t, e, q)
+	wantCols := []string{"day", "price_sum", "count"}
+	if !reflect.DeepEqual(res.Cols, wantCols) {
+		t.Fatalf("cols = %v, want %v", res.Cols, wantCols)
+	}
+	// Per day, the joined product prices: day 1 -> 5.25+3.25, day 2 ->
+	// 5.25+3.0, day 3 -> 3.25+3.0.
+	want := [][]float64{
+		{1, 8.5, 2},
+		{2, 8.25, 2},
+		{3, 6.25, 2},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	// Broadcast charge: 3 dim rows x (key + price payload) x 8 bytes.
+	_, buildBytes := q.Prepare()
+	if buildBytes != 3*2*columnar.WordBytes {
+		t.Fatalf("buildBytes = %d", buildBytes)
+	}
+}
+
+func TestJoinFilterRestrictsBuildSide(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Join("product", "pid", "pid", "price").
+		JoinFilter(Gt("price", 3.1)).
+		Agg(Sum("amount").As("revenue"), Sum("price"), Count()).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Products 1 (5.25) and 2 (3.25) qualify; sales rows for pid 1, 2.
+	res := run(t, e, q)
+	want := [][]float64{{10.5 + 3.25 + 21.0 + 16.25, 5.25 + 3.25 + 5.25 + 3.25, 4}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestCompositeJoinKey(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		Join("daily", "day", "day", "factor").
+		On("pid", "pid").
+		GroupBy("day").
+		Agg(Sum("factor").As("fsum")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{1, 30}, {2, 70}, {3, 110}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	// Broadcast charge: 6 dim rows x (2 keys + factor payload) x 8 bytes.
+	_, buildBytes := q.Prepare()
+	if buildBytes != 6*3*columnar.WordBytes {
+		t.Fatalf("buildBytes = %d", buildBytes)
+	}
+}
+
+func TestOrderByLimitTopK(t *testing.T) {
+	cat, e := newFixture(t)
+	// Revenue by product: pid 1 -> 31.5, pid 2 -> 19.5, pid 3 -> 12.
+	q, err := Scan("sales").
+		GroupBy("pid").
+		Agg(Sum("amount").As("revenue")).
+		OrderBy("revenue", true).
+		Limit(2).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{1, 31.5}, {2, 19.5}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	if res.SortedRows != 3 {
+		t.Fatalf("SortedRows = %d, want 3 (rows sorted, not rows kept)", res.SortedRows)
+	}
+
+	// Ascending without a limit orders the full set and reports its size.
+	q2, err := Scan("sales").
+		GroupBy("pid").
+		Agg(Sum("amount").As("revenue")).
+		OrderBy("revenue", false).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := run(t, e, q2)
+	want2 := [][]float64{{3, 12}, {2, 19.5}, {1, 31.5}}
+	if !reflect.DeepEqual(res2.Rows, want2) {
+		t.Fatalf("rows = %v, want %v", res2.Rows, want2)
+	}
+	if res2.SortedRows != 3 {
+		t.Fatalf("SortedRows = %d", res2.SortedRows)
+	}
+}
+
+func TestOrderByBreaksTiesOnRemainingColumns(t *testing.T) {
+	cat, e := newFixture(t)
+	// count per (day) is 2 for every day: the order column ties everywhere,
+	// so the group key must decide deterministically (ascending).
+	q, err := Scan("sales").
+		GroupBy("day").
+		Agg(Count()).
+		OrderBy("count", true).
+		Limit(2).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{1, 2}, {2, 2}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestHavingFiltersAfterAggregation(t *testing.T) {
+	cat, e := newFixture(t)
+	q, err := Scan("sales").
+		GroupBy("pid").
+		Agg(Sum("amount").As("revenue"), Count()).
+		Having(Gt("revenue", 15)).
+		OrderBy("revenue", true).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{1, 31.5, 2}, {2, 19.5, 2}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	if res.SortedRows != 2 {
+		t.Fatalf("SortedRows = %d, want 2 (Having runs before the sort)", res.SortedRows)
+	}
+
+	// Having may also test group keys, and works without OrderBy.
+	q2, err := Scan("sales").
+		GroupBy("pid").
+		Agg(Count()).
+		Having(Between("pid", 2, 3)).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := run(t, e, q2)
+	want2 := [][]float64{{2, 2}, {3, 2}}
+	if !reflect.DeepEqual(res2.Rows, want2) {
+		t.Fatalf("rows = %v, want %v", res2.Rows, want2)
+	}
+}
+
+func TestCountIfAndNot(t *testing.T) {
+	cat, e := newFixture(t)
+	bulk := Ge("qty", 3)
+	q, err := Scan("sales").
+		GroupBy("day").
+		Agg(CountIf(bulk).As("bulk"), CountIf(Not(bulk)).As("small")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	// qty by day: day 1 -> {2,1}, day 2 -> {4,3}, day 3 -> {5,1}.
+	want := [][]float64{{1, 0, 2}, {2, 2, 0}, {3, 1, 1}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+
+	// CountIf over a join payload column, ungrouped, with a negated range.
+	q2, err := Scan("sales").
+		Join("product", "pid", "pid", "price").
+		Agg(
+			CountIf(Between("price", 3.1, 6)).As("mid"),
+			CountIf(Not(Between("price", 3.1, 6))).As("rest"),
+		).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := run(t, e, q2)
+	// Prices per sales row: 5.25, 3.25, 5.25, 3.0, 3.25, 3.0 — mid counts
+	// the two 5.25 and two 3.25.
+	want2 := [][]float64{{4, 2}}
+	if !reflect.DeepEqual(res2.Rows, want2) {
+		t.Fatalf("rows = %v, want %v", res2.Rows, want2)
+	}
+}
+
+// TestCountIfEmitsZeroForSpillRangeGroups pins a regression: a group key
+// beyond the dense fast-path range (>= 1024) whose rows all fail every
+// CountIf condition must still emit a row with count 0, exactly like a
+// dense-range key does.
+func TestCountIfEmitsZeroForSpillRangeGroups(t *testing.T) {
+	cat, e := newFixture(t)
+	big := e.CreateTable(columnar.Schema{Name: "big", Columns: []columnar.ColumnDef{
+		{Name: "bucket", Type: columnar.Int64},
+		{Name: "v", Type: columnar.Int64},
+	}}, 8, false)
+	bt := big.Table()
+	bt.AppendRows([][]int64{
+		bt.EncodeRow(1, 5),    // dense key, cond fails
+		bt.EncodeRow(2048, 5), // spill key, cond fails
+		bt.EncodeRow(4096, 50),
+	}, 0)
+	q, err := Scan("big").
+		GroupBy("bucket").
+		Agg(CountIf(Ge("v", 10)).As("hits")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, e, q)
+	want := [][]float64{{1, 0}, {2048, 0}, {4096, 1}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestPredTypeErrorsAreTyped(t *testing.T) {
+	cat, _ := newFixture(t)
+	plans := []*Plan{
+		Scan("sales").Filter(Eq("day", "monday")).Agg(Count()),
+		Scan("sales").Filter(Between("day", 1, "friday")).Agg(Count()),
+		Scan("sales").Filter(Between("amount", 1.0, "high")).Agg(Count()),
+		Scan("sales").Filter(Eq("tag", 7)).Agg(Count()),
+		Scan("sales").Filter(Eq("day", 1.5)).Agg(Count()),
+		Scan("sales").SemiJoin("product", "pid", "pid", Gt("price", "expensive")).Agg(Count()),
+		Scan("sales").Join("product", "pid", "pid", "price").JoinFilter(Le("price", []byte("x"))).Agg(Count()),
+		Scan("sales").GroupBy("pid").Agg(Count()).Having(Gt("count", "many")),
+		Scan("sales").Agg(CountIf(Eq("qty", "lots"))),
+	}
+	for i, p := range plans {
+		_, err := p.Bind(cat)
+		if err == nil {
+			t.Errorf("plan %d: wrong-typed literal bound cleanly", i)
+			continue
+		}
+		if !errors.Is(err, ErrPredType) {
+			t.Errorf("plan %d: err %v does not wrap ErrPredType", i, err)
+		}
+	}
+
+	// Name errors must NOT read as type errors.
+	_, err := Scan("sales").Filter(Eq("nope", 1)).Agg(Count()).Bind(cat)
+	if err == nil || errors.Is(err, ErrPredType) {
+		t.Errorf("unknown column: err = %v", err)
+	}
+}
+
+func TestJoinAndOrderBindErrors(t *testing.T) {
+	cat, _ := newFixture(t)
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"limit-without-orderby", Scan("sales").GroupBy("pid").Agg(Count()).Limit(3), "without OrderBy"},
+		{"orderby-unknown", Scan("sales").GroupBy("pid").Agg(Count()).OrderBy("revenue", true), "not an output column"},
+		{"orderby-twice", Scan("sales").GroupBy("pid").Agg(Count()).OrderBy("count", true).OrderBy("pid", false), "OrderBy called twice"},
+		{"limit-nonpositive", Scan("sales").GroupBy("pid").Agg(Count()).OrderBy("count", true).Limit(0), "need > 0"},
+		{"having-unknown", Scan("sales").GroupBy("pid").Agg(Count()).Having(Gt("revenue", 1)), "not an output column"},
+		{"on-before-join", Scan("sales").On("day", "day").Agg(Count()), "On before Join"},
+		{"joinfilter-before-join", Scan("sales").JoinFilter(Eq("price", 1)).Agg(Count()), "JoinFilter before Join"},
+		{"join-twice", Scan("sales").Join("product", "pid", "pid").Join("daily", "day", "day").Agg(Count()), "already has a join"},
+		{"join-after-semijoin", Scan("sales").SemiJoin("product", "pid", "pid").Join("daily", "day", "day").Agg(Count()), "already has a join"},
+		{"too-many-keys",
+			Scan("sales").Join("daily", "day", "day").On("pid", "pid").On("qty", "factor").On("amount", "factor").Agg(Count()),
+			"exceeds 3 columns"},
+		{"string-payload", Scan("sales").Join("product", "pid", "pid", "category").Agg(Count()), "string"},
+		{"ambiguous-payload", Scan("sales").Join("daily", "day", "day", "pid").Agg(Count()), "ambiguous"},
+		{"filter-on-payload",
+			Scan("sales").Join("product", "pid", "pid", "price").Filter(Gt("price", 1)).Agg(Count()),
+			"use JoinFilter"},
+		{"string-fact-key", Scan("sales").Join("product", "tag", "pid").Agg(Count()), "not int64"},
+		{"group-on-float-payload",
+			Scan("sales").Join("product", "pid", "pid", "price").GroupBy("price").Agg(Count()),
+			"only int64 keys"},
+		{"unknown-payload", Scan("sales").Join("product", "pid", "pid", "sku").Agg(Count()), "no column"},
+	}
+	for _, tc := range cases {
+		_, err := tc.plan.Bind(cat)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
 	}
 }
