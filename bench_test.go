@@ -443,6 +443,49 @@ func BenchmarkQ18Builder(b *testing.B) {
 	}
 }
 
+// BenchmarkRebind and BenchmarkStmtReuse isolate what prepared
+// statements save: Rebind pays the full compilation (catalog lookup,
+// predicate typing, kernel selection) before every execution, StmtReuse
+// binds once and stamps parameter values per execution. Both run the
+// identical Q6 scan, so the delta is pure per-call session overhead.
+func BenchmarkRebind(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	defer eng.Close()
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := ch.Q6Plan(0, 0, 0, 0).Bind(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStmtReuse is the prepared-statement counterpart of
+// BenchmarkRebind.
+func BenchmarkStmtReuse(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	defer eng.Close()
+	stmt, err := ch.Q6PlanParam().Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := stmt.WithArgs(ch.Q6Args(0, 0, 0, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInstanceSwitch measures the real switch+sync path latency.
 func BenchmarkInstanceSwitch(b *testing.B) {
 	sys, err := core.NewSystem(core.DefaultSystemConfig())

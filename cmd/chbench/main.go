@@ -6,15 +6,20 @@
 //	chbench -fig 1|3a|3b|3c|4|5a|5b|sync|convergence -sf 0.01 -seed 42
 //	chbench -table 1
 //	chbench -fig 5a -sequences 100
+//	chbench -fig all -timeout 10m
 //
 // Output is one text table per artifact; EXPERIMENTS.md records the
-// expected shapes next to the paper's numbers.
+// expected shapes next to the paper's numbers. -timeout bounds the whole
+// run: an expired deadline abandons the in-flight artifact and exits
+// non-zero instead of hanging a CI job.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"elastichtap/internal/experiments"
 )
@@ -27,8 +32,16 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generator seed")
 		sequences = flag.Int("sequences", 100, "Figure 5 sequence count")
 		alpha     = flag.Float64("alpha", 0, "override scheduler α (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *table == 1 {
 		experiments.Banner(os.Stdout, "Table 1: HTAP design classification")
@@ -41,7 +54,7 @@ func main() {
 	}
 	opt := experiments.Options{SF: *sf, Seed: *seed, Alpha: *alpha}
 	run := func(name string) {
-		if err := runFig(name, opt, *sequences); err != nil {
+		if err := runFigContext(ctx, name, opt, *sequences); err != nil {
 			fmt.Fprintf(os.Stderr, "chbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -55,6 +68,26 @@ func main() {
 		return
 	}
 	run(*fig)
+}
+
+// runFigContext bounds one artifact's generation by the context: the
+// figure runs in its own goroutine and an expired deadline abandons the
+// wait. The experiment goroutine is left to the process teardown — the
+// figure drivers are synchronous sweeps with no external effects, so
+// exiting under a deadline is safe.
+func runFigContext(ctx context.Context, name string, opt experiments.Options, sequences int) error {
+	if ctx.Done() == nil {
+		return runFig(name, opt, sequences)
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- runFig(name, opt, sequences) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("abandoned after %v: %w", time.Since(start).Round(time.Millisecond), ctx.Err())
+	}
 }
 
 func runFig(name string, opt experiments.Options, sequences int) error {

@@ -1,14 +1,20 @@
 // Command htapctl drives an interactive-scale HTAP scenario and prints
-// the scheduler's behavior and system metrics — an operator's smoke test.
+// the scheduler's behavior and system metrics — an operator's smoke test
+// of the session API: every round executes under a context (optionally
+// deadlined with -timeout), and the per-round queries are prepared
+// statements stamped with fresh parameter values each round.
 //
 // Usage:
 //
 //	htapctl -sf 0.01 -rounds 10 -txns 500 -payment 20 -alpha 0.7 -query Q6
 //	htapctl -state S2            # pin a static state instead of adapting
-//	htapctl -query adhoc         # a builder-compiled group-by report
+//	htapctl -query adhoc         # a prepared group-by report, stamped per round
+//	htapctl -timeout 30s         # deadline the whole run
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,8 +37,16 @@ func main() {
 		state     = flag.String("state", "", "pin a static state: S1, S2, S3-IS, S3-NI (empty = adaptive)")
 		queryName = flag.String("query", "Q6", "query per round: Q1, Q3, Q6, Q12, Q18, Q19, mix, adhoc, topk")
 		emulate   = flag.Float64("emulate", 300, "report timings as if at this scale factor")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry cancels the in-flight query at the next morsel boundary")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := []elastichtap.Option{elastichtap.WithAlpha(*alpha)}
 	if *emulate > 0 && *sf > 0 {
@@ -42,6 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	db := sys.LoadCH(*sf, *seed)
 	if err := sys.StartWorkload(*payment); err != nil {
 		log.Fatal(err)
@@ -55,6 +70,25 @@ func main() {
 		}
 		forced = &st
 	}
+
+	// The ad-hoc reports are prepared once — catalog lookup, predicate
+	// typing and kernel selection up front — and stamped with the moving
+	// date cutoff each round.
+	weekly := query.Scan("orderline").
+		Filter(query.Ge("ol_delivery_d", query.Param("since"))).
+		GroupBy("ol_w_id").
+		Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+	var stmt *elastichtap.Stmt
+	switch strings.ToUpper(*queryName) {
+	case "TOPK":
+		stmt, err = sys.Prepare(weekly.Named("topk").OrderBy("revenue", true).Limit(5))
+	case "ADHOC":
+		stmt, err = sys.Prepare(weekly.Named("adhoc"))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	mix := db.QuerySet()
 	round := 0
 	pick := func() elastichtap.Query {
@@ -74,32 +108,6 @@ func main() {
 			q := mix[round%len(mix)]
 			round++
 			return q
-		case "TOPK":
-			// An ordered top-k report: the five busiest warehouses by
-			// revenue this week, ranked at merge time.
-			q, err := sys.Build(query.Scan("orderline").
-				Named("topk").
-				Filter(query.Ge("ol_delivery_d", db.Day()-7)).
-				GroupBy("ol_w_id").
-				Agg(query.Sum("ol_amount").As("revenue"), query.Count()).
-				OrderBy("revenue", true).
-				Limit(5))
-			if err != nil {
-				log.Fatal(err)
-			}
-			return q
-		case "ADHOC":
-			// A declaratively-built report: this week's revenue by
-			// warehouse, compiled onto the generic OLAP kernels.
-			q, err := sys.Build(query.Scan("orderline").
-				Named("adhoc").
-				Filter(query.Ge("ol_delivery_d", db.Day()-7)).
-				GroupBy("ol_w_id").
-				Agg(query.Sum("ol_amount").As("revenue"), query.Count()))
-			if err != nil {
-				log.Fatal(err)
-			}
-			return q
 		default:
 			return elastichtap.Q6(db)
 		}
@@ -111,10 +119,21 @@ func main() {
 		sys.Run(*txns)
 		rate, _ := sys.Freshness()
 		var rep elastichtap.QueryReport
-		if forced != nil {
-			rep, err = sys.QueryInState(pick(), *forced)
-		} else {
-			rep, err = sys.Query(pick())
+		switch {
+		case stmt != nil && forced != nil:
+			// Stamped prepared report, pinned to the operator's state.
+			rep, err = stmt.QueryInState(ctx, elastichtap.Args{"since": db.Day() - 7}, *forced)
+		case stmt != nil:
+			// Stamp this round's date cutoff into the prepared report.
+			rep, err = stmt.Query(ctx, elastichtap.Args{"since": db.Day() - 7})
+		case forced != nil:
+			rep, err = sys.QueryInStateContext(ctx, pick(), *forced)
+		default:
+			rep, err = sys.QueryContext(ctx, pick())
+		}
+		if errors.Is(err, elastichtap.ErrCancelled) {
+			tw.Flush()
+			log.Fatalf("htapctl: round %d: deadline expired: %v", r, err)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -2,12 +2,16 @@
 // rate of simple queries that must see the latest data. The scheduler
 // stays in hybrid states (split access over the freshest snapshot), never
 // paying an ETL, because each query touches only a sliver of fresh data.
-// The dashboard tiles are declarative plans compiled per refresh.
+// The dashboard tile is a prepared statement: compiled once, stamped with
+// the moving date cutoff at every refresh, and executed under a deadline
+// so one slow refresh can never wedge the dashboard.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"elastichtap"
 	"elastichtap/query"
@@ -21,8 +25,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	db := sys.LoadCH(0.01, 7)
 	if err := sys.StartWorkload(20); err != nil { // NewOrder + some Payments
+		log.Fatal(err)
+	}
+
+	// "Orders placed since this morning": a filter-reduce plan over the
+	// order lines delivered today. Prepared once — catalog lookup,
+	// predicate typing and kernel selection happen here, not per refresh;
+	// only the date value moves.
+	today, err := sys.Prepare(query.Scan("orderline").
+		Named("today").
+		Filter(query.Ge("ol_delivery_d", query.Param("since"))).
+		Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("orders")))
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -30,17 +47,13 @@ func main() {
 	for tick := 1; tick <= 10; tick++ {
 		sys.Run(500)
 
-		// "Orders placed since this morning": a filter-reduce plan over
-		// the order lines delivered today, rebuilt each refresh so the
-		// date predicate tracks the database's clock.
-		q, err := sys.Build(query.Scan("orderline").
-			Named("today").
-			Filter(query.Ge("ol_delivery_d", db.Day())).
-			Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("orders")))
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := sys.Query(q)
+		// Each refresh stamps the database's current day into the
+		// prepared tile and bounds the wait: a refresh that cannot answer
+		// in time is cancelled at the next morsel boundary, not queued
+		// behind the dashboard forever.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		rep, err := today.Query(ctx, elastichtap.Args{"since": db.Day()})
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,10 +19,32 @@
 // the system between states S1 (co-located), S2 (isolated + ETL), S3-IS
 // (hybrid isolated) and S3-NI (hybrid non-isolated) per query.
 //
-// Queries execute as tasks admitted to the shared OLAP pool: Query and
-// QueryBatch may be called from concurrent goroutines, whose morsels
-// interleave on the same workers (admission — snapshot switch, freshness
-// measurement, migration, ETL — is serialized; execution is concurrent).
+// The public surface is a session API in the shape Go database clients
+// expect — contexts everywhere, asynchronous submission, and prepared
+// statements:
+//
+//   - QueryContext / QueryBatchContext / QueryInStateContext thread a
+//     context through the whole per-query protocol. Cancellation and
+//     deadlines are observed between admission phases (switch,
+//     migration, ETL) and, once executing, at morsel boundaries — the
+//     same granularity at which the paper's elasticity intervenes — so a
+//     cancelled query returns an error wrapping ErrCancelled and the
+//     context's cause within one morsel's work, with partial state
+//     discarded and the pool and placement left fully consistent.
+//   - Submit(ctx, q) enqueues a query asynchronously and returns a
+//     Handle with Wait, Done, Report and Cancel. Many client goroutines
+//     submit concurrently: admission — snapshot switch, freshness
+//     measurement, migration, ETL — stays serialized, while executions
+//     interleave their morsels on the shared elastic worker pool.
+//   - Prepare(plan) binds a logical plan carrying query.Param
+//     placeholders once — catalog lookup, predicate typing, kernel
+//     selection — and returns a Stmt whose Query(ctx, Args{...}) stamps
+//     values into the compiled predicate tests per execution, bitwise
+//     identical to rebinding with the values inlined.
+//
+// The synchronous methods (Query, QueryBatch, QueryInState) remain as
+// thin context.Background wrappers.
+//
 // Each migration resizes the pool mid-query: workers park or wake as the
 // scheduler moves cores between the engines, and Stats.Workers reports
 // how many actually participated. Results are nonetheless bitwise
@@ -36,10 +58,11 @@
 //		elastichtap.WithAlpha(0.7),
 //		elastichtap.WithByteScale(300/0.01),
 //	)
+//	defer sys.Close()
 //	db := sys.LoadCH(0.01, 42)          // CH-benCHmark at SF 0.01
 //	sys.StartWorkload(0)                // NewOrder-only mix
 //	sys.Run(1000)                       // execute 1000 transactions
-//	rep, _ := sys.Query(elastichtap.Q6(db))
+//	rep, _ := sys.QueryContext(ctx, elastichtap.Q6(db))
 //	fmt.Println(rep.State, rep.ResponseSeconds, rep.Result.Rows)
 //
 // Analytical queries beyond the built-in CH-benCHmark set are expressed
@@ -48,23 +71,26 @@
 // projection, group-by, aggregate (including conditional counts), having,
 // order-by and top-k — compiles onto the OLAP engine's generic kernels
 // and flows through the adaptive scheduler with a work class inferred
-// from the plan shape:
+// from the plan shape. Any literal position takes a query.Param
+// placeholder, turning the plan into a reusable prepared statement:
 //
 //	plan := query.Scan("orderline").
-//		Filter(query.Ge("ol_delivery_d", db.Day())).
+//		Filter(query.Ge("ol_delivery_d", query.Param("since"))).
 //		GroupBy("ol_w_id").
 //		Agg(query.Sum("ol_amount").As("revenue"), query.Count()).
 //		OrderBy("revenue", true).
 //		Limit(5)
-//	q, _ := sys.Build(plan)
-//	rep, _ = sys.Query(q)
+//	stmt, _ := sys.Prepare(plan)                              // bind once
+//	rep, _ = stmt.Query(ctx, elastichtap.Args{"since": day})  // stamp per run
 //
-// The built-in Q1, Q3, Q6, Q12, Q18 and Q19 are themselves
-// builder-compiled; hand-coded executors remain in internal/ch as golden
+// The built-in Q1, Q3, Q6, Q12, Q18 and Q19 are themselves prepared
+// statements, bound once per database and stamped with their default
+// arguments; hand-coded executors remain in internal/ch as golden
 // references for the compiler's correctness tests.
 package elastichtap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -76,7 +102,6 @@ import (
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/metrics"
 	"elastichtap/internal/olap"
-	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
 	"elastichtap/query"
 )
@@ -389,46 +414,23 @@ func (s *System) Build(p *Plan) (Query, error) {
 // Query schedules and executes an analytical query adaptively: the
 // scheduler measures freshness, picks a state (Algorithm 2), migrates
 // resources (Algorithm 1), optionally ETLs, and executes. It fails with
-// ErrNoDatabase before LoadCH.
+// ErrNoDatabase before LoadCH. Query is QueryContext with a background
+// context; see also Submit for asynchronous sessions and Prepare for
+// parameterized statements.
 func (s *System) Query(q Query) (QueryReport, error) {
-	if s.db == nil {
-		return QueryReport{}, fmt.Errorf("elastichtap: Query: %w", ErrNoDatabase)
-	}
-	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{}, nil)
-	return rep, err
+	return s.QueryContext(context.Background(), q)
 }
 
 // QueryInState executes the query with the system pinned to a state
 // (static schedules, A/B comparisons).
 func (s *System) QueryInState(q Query, st State) (QueryReport, error) {
-	if s.db == nil {
-		return QueryReport{}, fmt.Errorf("elastichtap: QueryInState: %w", ErrNoDatabase)
-	}
-	rep, _, err := s.inner.RunQuery(q, core.QueryOptions{ForceState: core.ForcedState(st)}, nil)
-	return rep, err
+	return s.QueryInStateContext(context.Background(), q, st)
 }
 
 // QueryBatch executes a batch of queries over one shared snapshot with a
 // single ETL (the paper's query-batch class, §2.3/§4.2).
 func (s *System) QueryBatch(qs []Query) ([]QueryReport, error) {
-	if s.db == nil {
-		return nil, fmt.Errorf("elastichtap: QueryBatch: %w", ErrNoDatabase)
-	}
-	var out []QueryReport
-	var set *rde.SnapshotSet
-	for _, q := range qs {
-		opt := core.QueryOptions{Batch: true}
-		if set != nil {
-			opt.SkipSwitch = true
-		}
-		rep, next, err := s.inner.RunQuery(q, opt, set)
-		if err != nil {
-			return out, err
-		}
-		set = next
-		out = append(out, rep)
-	}
-	return out, nil
+	return s.QueryBatchContext(context.Background(), qs)
 }
 
 // OLTPThroughput reports the modeled transactional throughput with the
@@ -438,35 +440,38 @@ func (s *System) OLTPThroughput() float64 { return s.inner.OLTPThroughputNow() }
 // CurrentState returns the scheduler's current state.
 func (s *System) CurrentState() State { return s.inner.Sched.State() }
 
-// Freshness reports the current freshness-rate metric (1 = replicas fully
-// synchronized) and the outstanding fresh bytes.
+// Freshness reports the system-wide freshness-rate metric (1 = replicas
+// fully synchronized, measured across every table) and the total
+// outstanding fresh bytes an ETL of the whole database would copy. For
+// the staleness of one table — the number a non-orderline workload
+// actually cares about — use TableFreshness.
 func (s *System) Freshness() (rate float64, freshBytes int64) {
-	f := s.inner.X.MeasureFreshness(s.inner.OLTPE.Tables(), ch.TOrderLine, 1)
+	f := s.inner.X.MeasureFreshness(s.inner.OLTPE.Tables(), "", 0)
 	return f.Rate, f.Nft
 }
 
 // Q1, Q3, Q6, Q12, Q18 and Q19 build the CH-benCHmark evaluation queries
-// over a database — the paper's trio plus the join/ordered/top-k mix.
-// Each is compiled from its logical plan (internal/ch builder plans); a
-// nil db yields a query that fails with a descriptive error when run.
-func Q1(db *DB) Query  { return compilePlan(ch.Q1Plan(0), db) }
-func Q3(db *DB) Query  { return compilePlan(ch.Q3Plan(0), db) }
-func Q6(db *DB) Query  { return compilePlan(ch.Q6Plan(0, 0, 0, 0), db) }
-func Q12(db *DB) Query { return compilePlan(ch.Q12Plan(0), db) }
-func Q18(db *DB) Query { return compilePlan(ch.Q18Plan(0, 0), db) }
-func Q19(db *DB) Query { return compilePlan(ch.Q19Plan(0, 0, 0, 0), db) }
+// over a database — the paper's trio plus the join/ordered/top-k mix —
+// with their default parameter values. Each is a prepared statement
+// bound once per database (internal/ch parameterized plans) and stamped
+// here with the defaults, so repeated construction never re-runs
+// compilation; a nil db yields a query that fails with a descriptive
+// error when run.
+func Q1(db *DB) Query  { return prepared(db, "Q1", ch.Q1Args(0)) }
+func Q3(db *DB) Query  { return prepared(db, "Q3", ch.Q3Args(0)) }
+func Q6(db *DB) Query  { return prepared(db, "Q6", ch.Q6Args(0, 0, 0, 0)) }
+func Q12(db *DB) Query { return prepared(db, "Q12", ch.Q12Args(0)) }
+func Q18(db *DB) Query { return prepared(db, "Q18", ch.Q18Args(0)) }
+func Q19(db *DB) Query { return prepared(db, "Q19", ch.Q19Args(0, 0, 0, 0)) }
 
-// compilePlan binds a plan, deferring bind errors into the returned query
-// so constructor-style call sites stay one-liners.
-func compilePlan(p *Plan, db *DB) Query {
+// prepared stamps a cached per-DB prepared statement with args, deferring
+// errors into the returned query so constructor-style call sites stay
+// one-liners.
+func prepared(db *DB, name string, args Args) Query {
 	if db == nil {
-		return olap.Invalid{QueryName: p.Name(), Reason: fmt.Errorf("elastichtap: %s: %w", p.Name(), ErrNoDatabase)}
+		return olap.Invalid{QueryName: name, Reason: fmt.Errorf("elastichtap: %s: %w", name, ErrNoDatabase)}
 	}
-	q, err := p.Bind(db)
-	if err != nil {
-		return olap.Invalid{QueryName: p.Name(), Reason: err}
-	}
-	return q
+	return db.Stamped(name, args)
 }
 
 // WorkClasses re-exported for custom queries.
@@ -509,7 +514,10 @@ func RestoreTable(r io.Reader) (*columnar.Table, error) {
 func (s *System) Metrics() metrics.Snapshot { return s.inner.Metrics() }
 
 // Close releases the system's worker pools: the persistent OLAP pool
-// drains queued work and its goroutines exit. Call it when the system is
-// no longer needed (long-running processes that build many systems would
-// otherwise accumulate parked pool goroutines); queries fail after Close.
+// drains queued work and its goroutines exit. Close is idempotent and
+// safe to call concurrently with in-flight queries — already-admitted
+// work drains to completion, while queries and submissions arriving
+// after Close fail with an error wrapping ErrClosed. Call it when the
+// system is no longer needed (long-running processes that build many
+// systems would otherwise accumulate parked pool goroutines).
 func (s *System) Close() { s.inner.Close() }

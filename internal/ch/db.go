@@ -3,9 +3,11 @@ package ch
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"elastichtap/internal/oltp"
+	"elastichtap/query"
 )
 
 // LoadDay is the logical date (epoch days) stamped on generated rows; the
@@ -31,6 +33,11 @@ type DB struct {
 	Region    *oltp.TableHandle
 
 	day atomic.Int64
+
+	// prepared caches the bound form of the parameterized evaluation
+	// plans (see PreparedPlan), one Bind per query per database.
+	prepMu   sync.Mutex
+	prepared map[string]*query.Compiled
 }
 
 // Day returns the database's current logical date.

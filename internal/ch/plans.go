@@ -1,12 +1,25 @@
 package ch
 
-import "elastichtap/query"
+import (
+	"fmt"
+
+	"elastichtap/query"
+)
 
 // This file re-expresses the paper's evaluation queries as logical plans
 // for the declarative builder. The hand-coded executors in queries.go are
 // kept as golden references: builder_golden_test.go (package elastichtap)
 // asserts the compiled plans reproduce their results and statistics
 // exactly.
+//
+// Each query exists in two forms: the literal constructors (Q1Plan and
+// friends) bake their values into the plan, while the parameterized
+// constructors (Q1PlanParam and friends) carry query.Param placeholders
+// in every value position a client would vary. The parameterized forms
+// bind once per database (DB.PreparedPlan) and are stamped with QxArgs
+// values per execution — the facade's Q1..Q19 constructors and QuerySet
+// go through this cache, so the evaluation queries pay catalog lookup,
+// predicate typing and kernel selection exactly once per DB.
 
 // Q1Plan is CH-Q1 as a logical plan: scan-filter-groupby over OrderLine
 // grouping by ol_number. minDeliveryD mirrors Q1.MinDeliveryD (rows with
@@ -128,4 +141,200 @@ func Q19Plan(qtyLo, qtyHi int64, priceLo, priceHi float64) *query.Plan {
 			query.Sum("ol_amount").As("revenue"),
 			query.Count().As("matches"),
 		)
+}
+
+// --- parameterized (prepared) forms ---
+
+// Q1PlanParam is Q1Plan with the delivery-date cutoff as a parameter.
+func Q1PlanParam() *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q1").
+		Filter(query.Gt("ol_delivery_d", query.Param("min_delivery_d"))).
+		GroupBy("ol_number").
+		Agg(
+			query.Sum("ol_quantity").As("sum_qty"),
+			query.Sum("ol_amount").As("sum_amount"),
+			query.Avg("ol_quantity").As("avg_qty"),
+			query.Avg("ol_amount").As("avg_amount"),
+			query.Count().As("count_order"),
+		)
+}
+
+// Q1Args carries Q1's parameter values; zero defaults exactly like
+// Q1Plan(0).
+func Q1Args(minDeliveryD int64) query.Args {
+	return query.Args{"min_delivery_d": minDeliveryD}
+}
+
+// Q6PlanParam is Q6Plan with the date and quantity brackets as
+// parameters.
+func Q6PlanParam() *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q6").
+		Filter(
+			query.Ge("ol_delivery_d", query.Param("date_lo")),
+			query.Lt("ol_delivery_d", query.Param("date_hi")),
+			query.Between("ol_quantity", query.Param("qty_lo"), query.Param("qty_hi")),
+		).
+		Agg(
+			query.Sum("ol_amount").As("revenue"),
+			query.Count().As("count"),
+		)
+}
+
+// Q6Args carries Q6's parameter values with the same zero-value defaults
+// as Q6Plan: dateHi=0 selects everything, qtyHi=0 selects qty in
+// [1,100000].
+func Q6Args(dateLo, dateHi, qtyLo, qtyHi int64) query.Args {
+	if dateHi == 0 {
+		dateHi = 1 << 62
+	}
+	if qtyHi == 0 {
+		qtyLo, qtyHi = 1, 100000
+	}
+	return query.Args{"date_lo": dateLo, "date_hi": dateHi, "qty_lo": qtyLo, "qty_hi": qtyHi}
+}
+
+// Q3PlanParam is Q3Plan with the carrier filter as a parameter; the
+// top-N limit is plan structure and stays fixed at Q3's default of 10.
+func Q3PlanParam() *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q3").
+		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
+		On("ol_d_id", "o_d_id").
+		On("ol_o_id", "o_id").
+		JoinFilter(query.Eq("o_carrier_id", query.Param("carrier"))).
+		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
+		Agg(query.Sum("ol_amount").As("revenue")).
+		OrderBy("revenue", true).
+		Limit(10)
+}
+
+// Q3Args carries Q3's parameter values; carrier 0 keeps undelivered
+// orders, Q3's default.
+func Q3Args(carrier int64) query.Args {
+	return query.Args{"carrier": carrier}
+}
+
+// Q12PlanParam is Q12Plan with the delivered-since cutoff as a
+// parameter; the priority brackets are fixed by the benchmark.
+func Q12PlanParam() *query.Plan {
+	highPriority := query.Between("o_carrier_id", 1, 2)
+	return query.Scan(TOrderLine).
+		Named("Q12").
+		Filter(query.Ge("ol_delivery_d", query.Param("delivered_since"))).
+		Join(TOrders, "ol_w_id", "o_w_id", "o_carrier_id", "o_ol_cnt").
+		On("ol_d_id", "o_d_id").
+		On("ol_o_id", "o_id").
+		GroupBy("o_ol_cnt").
+		Agg(
+			query.CountIf(highPriority).As("high_line_count"),
+			query.CountIf(query.Not(highPriority)).As("low_line_count"),
+		)
+}
+
+// Q12Args carries Q12's parameter values.
+func Q12Args(deliveredSince int64) query.Args {
+	return query.Args{"delivered_since": deliveredSince}
+}
+
+// Q18PlanParam is Q18Plan with the revenue threshold as a parameter (a
+// Having site, stamped in float space); top-N stays fixed at Q18's
+// default of 100.
+func Q18PlanParam() *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q18").
+		GroupBy("ol_w_id", "ol_d_id", "ol_o_id").
+		Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("lines")).
+		Having(query.Gt("revenue", query.Param("min_revenue"))).
+		OrderBy("revenue", true).
+		Limit(100)
+}
+
+// Q18Args carries Q18's parameter values; minRevenue <= 0 defaults to
+// 200, exactly like Q18Plan.
+func Q18Args(minRevenue float64) query.Args {
+	if minRevenue <= 0 {
+		minRevenue = 200
+	}
+	return query.Args{"min_revenue": minRevenue}
+}
+
+// Q19PlanParam is Q19Plan with the quantity and price brackets as
+// parameters (the price pair lands on the semi-join's build side).
+func Q19PlanParam() *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q19").
+		Filter(query.Between("ol_quantity", query.Param("qty_lo"), query.Param("qty_hi"))).
+		SemiJoin(TItem, "ol_i_id", "i_id",
+			query.Between("i_price", query.Param("price_lo"), query.Param("price_hi"))).
+		Agg(
+			query.Sum("ol_amount").As("revenue"),
+			query.Count().As("matches"),
+		)
+}
+
+// Q19Args carries Q19's parameter values with Q19Plan's zero defaults:
+// qty in [1,10], price in [1,100].
+func Q19Args(qtyLo, qtyHi int64, priceLo, priceHi float64) query.Args {
+	if qtyHi == 0 {
+		qtyLo, qtyHi = 1, 10
+	}
+	if priceHi == 0 {
+		priceLo, priceHi = 1, 100
+	}
+	return query.Args{"qty_lo": qtyLo, "qty_hi": qtyHi, "price_lo": priceLo, "price_hi": priceHi}
+}
+
+// paramPlans names every parameterized evaluation plan for the per-DB
+// prepared cache.
+var paramPlans = map[string]func() *query.Plan{
+	"Q1":  Q1PlanParam,
+	"Q3":  Q3PlanParam,
+	"Q6":  Q6PlanParam,
+	"Q12": Q12PlanParam,
+	"Q18": Q18PlanParam,
+	"Q19": Q19PlanParam,
+}
+
+// PreparedPlan returns the named evaluation query ("Q1".."Q19") compiled
+// as a prepared statement, binding it against this database on first use
+// and caching it for the DB's lifetime. Stamp the returned statement with
+// query.Compiled.WithArgs (QxArgs builds the default argument sets);
+// stamping clones, so concurrent callers may share the cache freely.
+func (db *DB) PreparedPlan(name string) (*query.Compiled, error) {
+	build, ok := paramPlans[name]
+	if !ok {
+		return nil, fmt.Errorf("ch: no parameterized plan %q", name)
+	}
+	db.prepMu.Lock()
+	defer db.prepMu.Unlock()
+	if c, ok := db.prepared[name]; ok {
+		return c, nil
+	}
+	c, err := build().Bind(db)
+	if err != nil {
+		return nil, err
+	}
+	if db.prepared == nil {
+		db.prepared = make(map[string]*query.Compiled)
+	}
+	db.prepared[name] = c
+	return c, nil
+}
+
+// Q3PlanCarrier is Q3Plan with the default top-10 but an explicit
+// carrier filter — the literal twin of Q3PlanParam, used by the golden
+// tests to compare stamped executions against fresh binds.
+func Q3PlanCarrier(carrier int64) *query.Plan {
+	return query.Scan(TOrderLine).
+		Named("Q3").
+		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
+		On("ol_d_id", "o_d_id").
+		On("ol_o_id", "o_id").
+		JoinFilter(query.Eq("o_carrier_id", carrier)).
+		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
+		Agg(query.Sum("ol_amount").As("revenue")).
+		OrderBy("revenue", true).
+		Limit(10)
 }

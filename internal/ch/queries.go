@@ -266,17 +266,22 @@ func (e *q19Exec) Merge(locals []olap.Local) olap.Result {
 func (db *DB) QuerySet() []olap.Query {
 	return []olap.Query{
 		&Q1{DB: db}, &Q6{DB: db}, &Q19{DB: db},
-		db.compiled(Q3Plan(0)), db.compiled(Q12Plan(0)), db.compiled(Q18Plan(0, 0)),
+		db.Stamped("Q3", Q3Args(0)), db.Stamped("Q12", Q12Args(0)), db.Stamped("Q18", Q18Args(0)),
 	}
 }
 
-// compiled binds a builder plan against the database, deferring bind
-// errors into the returned query (they surface when the runner checks
-// Err), so QuerySet stays infallible.
-func (db *DB) compiled(p *query.Plan) olap.Query {
-	q, err := p.Bind(db)
+// Stamped returns the named prepared evaluation query (bound once per DB,
+// see PreparedPlan) stamped with args, deferring errors into the returned
+// query (they surface when the runner checks Err), so constructor-style
+// call sites stay infallible.
+func (db *DB) Stamped(name string, args query.Args) olap.Query {
+	c, err := db.PreparedPlan(name)
 	if err != nil {
-		return olap.Invalid{QueryName: p.Name(), Reason: err}
+		return olap.Invalid{QueryName: name, Reason: err}
+	}
+	q, err := c.WithArgs(args)
+	if err != nil {
+		return olap.Invalid{QueryName: name, Reason: err}
 	}
 	return q
 }

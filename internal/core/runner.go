@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/olap"
@@ -57,6 +59,12 @@ type System struct {
 	// while executions proceed concurrently on the shared OLAP worker
 	// pool once admitted.
 	admitMu sync.Mutex
+
+	// closed rejects new queries once Close has begun; closeOnce makes
+	// Close idempotent and a barrier (concurrent callers all return only
+	// after the pools are down).
+	closed    atomic.Bool
+	closeOnce sync.Once
 }
 
 // NewSystem bootstraps a system in state S2: each engine owns its socket,
@@ -210,12 +218,22 @@ type admission struct {
 // migrate state (Algorithms 1+2), optionally ETL, and build the access
 // path. Placements are snapshotted under the same lock so the cost model
 // charges the layout this query was admitted with, even when a concurrent
-// query migrates the system afterwards.
-func (s *System) admitQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (admission, error) {
+// query migrates the system afterwards. The context is observed between
+// the protocol phases — after the queue wait, after switch+sync, and on
+// either side of the ETL — so an expired deadline abandons admission at a
+// consistent point: the exchange state left behind is exactly what the
+// completed phases produced, and the next query proceeds from it.
+func (s *System) admitQuery(ctx context.Context, q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (admission, error) {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 
 	adm := admission{set: snap}
+	if err := ctx.Err(); err != nil { // cancelled while queued for admission
+		return adm, olap.CancelErr(err)
+	}
+	if s.closed.Load() {
+		return adm, fmt.Errorf("core: admit %s: %w", q.Name(), olap.ErrClosed)
+	}
 	tables := s.OLTPE.Tables()
 	if adm.set == nil || !opt.SkipSwitch {
 		adm.set = s.X.SwitchAndSync(tables)
@@ -224,6 +242,9 @@ func (s *System) admitQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSe
 	factSnap := adm.set.Snap(q.FactTable())
 	if factSnap == nil {
 		return adm, fmt.Errorf("core: no snapshot for fact table %q", q.FactTable())
+	}
+	if err := ctx.Err(); err != nil { // expired during switch+sync
+		return adm, olap.CancelErr(err)
 	}
 
 	adm.fresh = s.X.MeasureFreshness(tables, q.FactTable(), len(q.Columns()))
@@ -239,9 +260,15 @@ func (s *System) admitQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSe
 	adm.oltpPlace, adm.olapPlace = s.Sched.Placements()
 
 	if adm.state == S2 {
+		if err := ctx.Err(); err != nil { // expired before the ETL copy
+			return adm, olap.CancelErr(err)
+		}
 		etl := s.X.ETL(adm.set)
 		adm.etlBytes = etl.Bytes
 		adm.etlSeconds = s.Model.ETLTime(s.scale(etl.Bytes), adm.olapPlace.On(s.Cfg.OLAPSocket))
+		if err := ctx.Err(); err != nil { // expired mid-ETL; replicas are consistent
+			return adm, olap.CancelErr(err)
+		}
 	}
 
 	adm.method = s.chooseMethod(adm.state, adm.fresh)
@@ -257,16 +284,31 @@ func (s *System) admitQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSe
 	return adm, nil
 }
 
-// RunQuery drives the full per-query protocol of §3.4: switch and sync the
-// OLTP instances, measure freshness, decide and migrate state (Algorithms
-// 1+2), optionally ETL, build the access path, execute for real, and
-// charge simulated time for every phase. Admission is serialized; the
-// execution itself runs as a task on the shared OLAP worker pool, so
-// concurrent RunQuery callers interleave their morsels on the same
-// workers and scheduler migrations resize the pool mid-query.
+// RunQuery is RunQueryContext with a background context — the original
+// synchronous entry point, kept for callers with no cancellation needs.
 func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
+	return s.RunQueryContext(context.Background(), q, opt, snap)
+}
+
+// RunQueryContext drives the full per-query protocol of §3.4: switch and
+// sync the OLTP instances, measure freshness, decide and migrate state
+// (Algorithms 1+2), optionally ETL, build the access path, execute for
+// real, and charge simulated time for every phase. Admission is
+// serialized; the execution itself runs as a task on the shared OLAP
+// worker pool, so concurrent callers interleave their morsels on the same
+// workers and scheduler migrations resize the pool mid-query.
+//
+// Cancellation is observed between admission phases and, during
+// execution, at morsel boundaries: a cancelled query returns an error
+// wrapping both olap.ErrCancelled and the context's cause within one
+// morsel's work per active worker, its partial state is discarded, and
+// the placement and pool remain consistent for subsequent queries.
+func (s *System) RunQueryContext(ctx context.Context, q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
 	if q == nil {
 		return QueryReport{}, snap, fmt.Errorf("core: nil query")
+	}
+	if s.closed.Load() {
+		return QueryReport{}, snap, fmt.Errorf("core: query %s: %w", q.Name(), olap.ErrClosed)
 	}
 	// Queries can carry a deferred construction error (olap.Invalid, or any
 	// query exposing Err); surface it before touching the system.
@@ -276,7 +318,7 @@ func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet)
 		}
 	}
 
-	adm, err := s.admitQuery(q, opt, snap)
+	adm, err := s.admitQuery(ctx, q, opt, snap)
 	if err != nil {
 		return QueryReport{}, adm.set, err
 	}
@@ -284,7 +326,7 @@ func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet)
 	// The scan pin taken at admission holds through the execution:
 	// switches and ETLs that would overwrite cells this scan reads wait
 	// for release (no-op contention for insert-only fact tables).
-	res, stats, err := s.OLAPE.Execute(q, adm.src)
+	res, stats, err := s.OLAPE.ExecuteContext(ctx, q, adm.src)
 	adm.release()
 	if err != nil {
 		return QueryReport{}, adm.set, err
@@ -381,10 +423,17 @@ func (s *System) InjectTransactions(n int) {
 
 // Close shuts the system's worker pools down: the persistent OLAP pool's
 // goroutines drain queued morsels and exit, and the OLTP pool stops if it
-// was free-running. Queries must not be submitted after Close.
+// was free-running. Close is idempotent and safe to call concurrently
+// with in-flight queries — already-admitted tasks drain to completion
+// (retiring workers act as caretakers), while new submissions fail with
+// an error wrapping olap.ErrClosed. Concurrent Close calls all return
+// only after the pools are down.
 func (s *System) Close() {
-	s.OLTPE.Workers().Stop()
-	s.OLAPE.Close()
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.OLTPE.Workers().Stop()
+		s.OLAPE.Close()
+	})
 }
 
 // PinnedSnapshot switches and syncs the table under the same admission

@@ -1,6 +1,8 @@
 package olap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +10,27 @@ import (
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/topology"
 )
+
+// ErrClosed reports a submission to an engine whose pool has been
+// retired by Close. The facade re-exports it as elastichtap.ErrClosed.
+var ErrClosed = errors.New("engine closed")
+
+// ErrCancelled reports a query abandoned before completion — a
+// cancelled or expired context, or an explicit Handle.Cancel. Errors
+// returned for cancelled work wrap both ErrCancelled and the context's
+// own cause, so errors.Is distinguishes context.Canceled from
+// context.DeadlineExceeded while errors.Is(err, ErrCancelled) catches
+// either. The facade re-exports it as elastichtap.ErrCancelled.
+var ErrCancelled = errors.New("query cancelled")
+
+// CancelErr wraps a context cause into the engine's typed cancellation
+// error; a nil cause yields ErrCancelled alone.
+func CancelErr(cause error) error {
+	if cause == nil {
+		return ErrCancelled
+	}
+	return fmt.Errorf("%w: %w", ErrCancelled, cause)
+}
 
 // Block is one morsel of aligned column vectors handed to an executor.
 // Cols[k] corresponds to the k-th requested column; all slices share
@@ -223,11 +246,22 @@ type morsel struct {
 // followed by Wait; concurrent callers interleave their morsels on the
 // same workers.
 func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
+	return e.ExecuteContext(context.Background(), q, src)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is cancelled or
+// its deadline expires the task is cancelled at the next morsel boundary
+// (see Task.Cancel) and the call returns an error wrapping ErrCancelled
+// and the context's cause. The pool stays fully usable afterwards.
+func (e *Engine) ExecuteContext(ctx context.Context, q Query, src Source) (Result, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, Stats{}, CancelErr(err)
+	}
 	t, err := e.Submit(q, src)
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
-	return t.Wait()
+	return t.WaitContext(ctx)
 }
 
 // Submit admits a query to the pool: work splits into chunk-aligned
@@ -237,6 +271,13 @@ func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
 // admission the submitting goroutine drains the task itself during Wait,
 // so a zero placement still makes progress.
 func (e *Engine) Submit(q Query, src Source) (*Task, error) {
+	// Queries carrying a deferred construction error (olap.Invalid, an
+	// unstamped prepared statement) must not reach Prepare.
+	if v, ok := q.(interface{ Err() error }); ok {
+		if err := v.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if err := src.Validate(); err != nil {
 		return nil, err
 	}
@@ -284,7 +325,7 @@ func (e *Engine) Submit(q Query, src Source) (*Task, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("olap: engine closed")
+		return nil, fmt.Errorf("olap: Submit %s: %w", q.Name(), ErrClosed)
 	}
 	for i, m := range t.morsels {
 		t.queue[m.socket] = append(t.queue[m.socket], i)

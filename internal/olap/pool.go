@@ -16,7 +16,11 @@ type worker struct {
 // variable when no work is queued. A retire request is honored between
 // morsels — never mid-consume — and a retiring worker keeps draining as
 // caretaker while queued morsels remain with no active worker to take
-// them, so elasticity can never strand a task.
+// them, so elasticity can never strand a task. Task cancellation needs
+// no cooperation here: Cancel empties the cancelled task's queues under
+// e.mu, so workers simply never see its remaining morsels — the one they
+// are mid-consume on finishes, bounding cancellation latency to a single
+// morsel per worker.
 func (w *worker) run() {
 	e := w.e
 	e.mu.Lock()

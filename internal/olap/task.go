@@ -1,8 +1,11 @@
 package olap
 
+import "context"
+
 // Task is one admitted query execution sharing the engine's worker pool.
 // Submit returns it immediately; Wait blocks until every morsel is
-// consumed and merges the per-morsel partials in morsel order.
+// consumed and merges the per-morsel partials in morsel order. Cancel
+// abandons the task at the next morsel boundary.
 type Task struct {
 	e    *Engine
 	exec Exec
@@ -20,6 +23,7 @@ type Task struct {
 	seen      map[int]struct{}
 	inline    int // pseudo-worker ids handed to inline drainers
 	stats     Stats
+	err       error // cancellation cause; set before done closes
 	done      chan struct{}
 }
 
@@ -116,15 +120,51 @@ func (t *Task) finishMorsel(e *Engine) {
 	}
 }
 
+// Cancel abandons the task: every unclaimed morsel is discarded, so the
+// only remaining work is the in-flight morsels workers are mid-consume on
+// — cancellation is observed at morsel boundaries, never inside a kernel,
+// exactly where the scheduler's elasticity already intervenes. When the
+// last in-flight morsel retires the task completes with an error wrapping
+// ErrCancelled and cause; partial locals are never merged, and the pool
+// and queues are left fully consistent for subsequent tasks. Cancelling a
+// completed (or already cancelled) task is a no-op, so a cancel racing
+// normal completion keeps the successful result.
+func (t *Task) Cancel(cause error) {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.err != nil || t.remaining == 0 {
+		return
+	}
+	t.err = CancelErr(cause)
+	discarded := 0
+	for s := range t.queue {
+		discarded += len(t.queue[s]) - t.heads[s]
+		t.heads[s] = len(t.queue[s])
+	}
+	t.unclaimed -= discarded
+	t.remaining -= discarded
+	if t.remaining == 0 {
+		// No morsel in flight: the task retires here. Otherwise the last
+		// finishMorsel completes it, bounding cancellation latency by one
+		// morsel's work per active worker.
+		t.stats.Workers = len(t.seen)
+		e.removeTask(t)
+		close(t.done)
+	}
+}
+
 // drain runs queued morsels of this task on the submitting goroutine —
 // the fallback worker when the pool is empty at admission. Morsels
-// claimed by pool workers that appeared mid-drain are left to them.
-func (t *Task) drain() {
+// claimed by pool workers that appeared mid-drain are left to them; a
+// cancelled context stops the drain at the next morsel boundary (the
+// caller's wait then cancels the task).
+func (t *Task) drain(ctx context.Context) {
 	e := t.e
 	e.mu.Lock()
 	t.inline++
 	id := -t.inline // one pseudo-worker id per draining goroutine
-	for {
+	for ctx.Err() == nil {
 		mi, ok := t.popAny()
 		if !ok {
 			break
@@ -143,7 +183,23 @@ func (t *Task) drain() {
 // results are bitwise deterministic regardless of worker interleaving,
 // stealing, or mid-query pool resizes.
 func (t *Task) Wait() (Result, Stats, error) {
+	return t.WaitContext(context.Background())
+}
+
+// WaitContext is Wait with cancellation: when ctx ends before the task
+// does, the task is cancelled (unclaimed morsels discarded, in-flight
+// morsels allowed to finish) and the error wraps ErrCancelled together
+// with the context's cause, so errors.Is sees both context.Canceled /
+// context.DeadlineExceeded and ErrCancelled.
+func (t *Task) WaitContext(ctx context.Context) (Result, Stats, error) {
 	e := t.e
+	if ctx.Done() != nil {
+		// Deliver cancellation the moment the context ends, not when this
+		// goroutine happens to wake: a cancel that arrives while the last
+		// morsel is in flight must still beat its completion.
+		stop := context.AfterFunc(ctx, func() { t.Cancel(ctx.Err()) })
+		defer stop()
+	}
 	e.mu.Lock()
 	// Help drain only when no pool goroutine is alive to do it: a pool
 	// that merely shrank to zero mid-query still has a caretaker (see
@@ -151,8 +207,13 @@ func (t *Task) Wait() (Result, Stats, error) {
 	inline := t.unclaimed > 0 && e.nlive == 0
 	e.mu.Unlock()
 	if inline {
-		t.drain()
+		t.drain(ctx)
 	}
 	<-t.done
+	// t.err and t.stats are written before done closes; the channel close
+	// orders those writes before these reads.
+	if t.err != nil {
+		return Result{}, t.stats, t.err
+	}
 	return t.exec.Merge(t.locals), t.stats, nil
 }

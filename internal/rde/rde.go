@@ -274,31 +274,63 @@ type Freshness struct {
 }
 
 // MeasureFreshness computes Nfq for a query over factTable touching nCols
-// columns, and Nft across all tables, relative to the OLAP replicas.
+// columns, and Nft and Rate across all tables, relative to the OLAP
+// replicas. An empty factTable measures the system-wide quantities only
+// (Nfq and the per-query fields stay zero) — the facade's Freshness probe
+// with no query in hand.
 func (x *Exchange) MeasureFreshness(tables []*oltp.TableHandle, factTable string, nCols int) Freshness {
 	var f Freshness
 	var totalRows, freshRows int64
 	for _, h := range tables {
-		t := h.Table()
-		rep := x.Replica(h)
-		st := t.FreshSince(rep.Rows())
-		fresh := st.UpdatedRows + st.InsertedRows
-		f.Nft += fresh * t.Schema().RowBytes()
-		totalRows += st.Rows
+		fresh, rows, updated := x.tableFresh(h)
+		f.Nft += fresh * h.Table().Schema().RowBytes()
+		totalRows += rows
 		freshRows += fresh
-		if t.Schema().Name == factTable {
+		if h.Table().Schema().Name == factTable {
 			f.QueryFreshRows = fresh
-			f.QueryUpdatedRows = st.UpdatedRows
-			f.Nfq = fresh * t.Schema().RowBytes()
+			f.QueryUpdatedRows = updated
+			f.Nfq = fresh * h.Table().Schema().RowBytes()
 			f.NfqColumns = fresh * int64(nCols) * columnar.WordBytes
 		}
 	}
-	if totalRows > 0 {
-		f.Rate = float64(totalRows-freshRows) / float64(totalRows)
-	} else {
-		f.Rate = 1
-	}
+	f.Rate = freshRate(freshRows, totalRows)
 	return f
+}
+
+// tableFresh measures one table against its replica: the fresh rows
+// (updated + inserted since the replica watermark), the table's total
+// rows, and the updated subset — the shared ingredient of every
+// freshness probe, so the system-wide and per-table measures can never
+// drift apart.
+func (x *Exchange) tableFresh(h *oltp.TableHandle) (fresh, rows, updated int64) {
+	st := h.Table().FreshSince(x.Replica(h).Rows())
+	return st.UpdatedRows + st.InsertedRows, st.Rows, st.UpdatedRows
+}
+
+// freshRate is the freshness-rate metric over a row population: the
+// share of replica-identical tuples, 1 for an empty population.
+func freshRate(fresh, rows int64) float64 {
+	if rows > 0 {
+		return float64(rows-fresh) / float64(rows)
+	}
+	return 1
+}
+
+// TableFreshness measures one table's freshness in isolation: the rate
+// of replica-identical tuples over the table's total tuples, and the
+// full-row fresh bytes an ETL of just this table would copy. Workloads
+// that never touch orderline (payment-only mixes, custom fact tables)
+// read their real staleness here instead of a system-wide blend.
+func (x *Exchange) TableFreshness(h *oltp.TableHandle) Freshness {
+	fresh, rows, updated := x.tableFresh(h)
+	bytes := fresh * h.Table().Schema().RowBytes()
+	return Freshness{
+		Nfq:              bytes,
+		Nft:              bytes,
+		QueryFreshRows:   fresh,
+		QueryUpdatedRows: updated,
+		Rate:             freshRate(fresh, rows),
+	}
 }
 
 // AccessMethod selects how a query reads its fact table.

@@ -134,7 +134,9 @@ type joinPlan struct {
 
 // Compiled is a bound, executable plan. It implements olap.Query, so it
 // runs through the engine and the adaptive scheduler exactly like the
-// hand-written workload queries.
+// hand-written workload queries. A plan built with Param placeholders
+// compiles to a prepared statement: Bind resolves names, types and
+// kernels once, and WithArgs stamps values per execution (see params.go).
 type Compiled struct {
 	name    string
 	class   costmodel.WorkClass
@@ -149,6 +151,12 @@ type Compiled struct {
 	order   olap.Order
 	ordered bool
 	limit   int
+	// params are the predicate sites awaiting WithArgs values, names the
+	// cached distinct placeholder names; stamped marks a statement
+	// produced by WithArgs as executable.
+	params  []paramSite
+	names   []string
+	stamped bool
 }
 
 // havingFilter is a compiled post-aggregation predicate over one output
@@ -351,6 +359,14 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 	}
 
 	for _, pr := range p.preds {
+		if len(predParams(pr)) > 0 {
+			idx := schema.ColumnIndex(pr.col) // resolved by the scan-list loop above
+			if err := c.noteParams(pr, schema.Columns[idx].Type, tab.Dict(idx), siteFilter, len(c.filters)); err != nil {
+				return nil, err
+			}
+			c.filters = append(c.filters, filter{slot: slots[pr.col], ftest: ftest{kind: fNever}})
+			continue
+		}
 		test, err := compileTest(tab, schema, pr)
 		if err != nil {
 			return nil, err
@@ -359,7 +375,7 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 	}
 
 	if p.join != nil {
-		jp, err := compileJoin(p, schema, dh, slots)
+		jp, err := compileJoin(c, p, schema, dh, slots)
 		if err != nil {
 			return nil, err
 		}
@@ -396,13 +412,19 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 			if !ok {
 				return nil, fmt.Errorf("query: CountIf over unknown column %q", a.cond.col)
 			}
-			var test ftest
-			var err error
+			ctab, cschema := tab, schema
 			if isPayload[a.cond.col] {
-				test, err = compileTest(dt, dschema, *a.cond)
-			} else {
-				test, err = compileTest(tab, schema, *a.cond)
+				ctab, cschema = dt, dschema
 			}
+			if len(predParams(*a.cond)) > 0 {
+				idx := cschema.ColumnIndex(a.cond.col)
+				if err := c.noteParams(*a.cond, cschema.Columns[idx].Type, ctab.Dict(idx), siteCond, len(c.aggs)); err != nil {
+					return nil, err
+				}
+				ap.cond, ap.condSlot = &ftest{kind: fNever}, slot
+				break
+			}
+			test, err := compileTest(ctab, cschema, *a.cond)
 			if err != nil {
 				return nil, err
 			}
@@ -438,12 +460,20 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		if col < 0 {
 			return nil, fmt.Errorf("query: Having column %q is not an output column (have %v)", pr.col, c.outCols)
 		}
-		test, err := compileFloatTest(pr)
+		if len(predParams(pr)) > 0 {
+			if err := c.noteParams(pr, columnar.Float64, nil, siteHaving, len(c.having)); err != nil {
+				return nil, err
+			}
+			c.having = append(c.having, havingFilter{col: col, ftest: ftest{kind: fNever}})
+			continue
+		}
+		test, err := makeFloatTest(pr)
 		if err != nil {
 			return nil, err
 		}
 		c.having = append(c.having, havingFilter{col: col, ftest: test})
 	}
+	c.names = paramNames(c.params)
 	if p.orderCol != "" {
 		col := outIndex(p.orderCol)
 		if col < 0 {
@@ -459,8 +489,9 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 }
 
 // compileJoin resolves the join's dimension side: key columns (int64 on
-// both sides), payload columns and build-side predicates.
-func compileJoin(p *Plan, schema columnar.Schema, dh *oltp.TableHandle, slots map[string]int) (*joinPlan, error) {
+// both sides), payload columns and build-side predicates. Parameterized
+// build-side predicates record their stamping sites on c.
+func compileJoin(c *Compiled, p *Plan, schema columnar.Schema, dh *oltp.TableHandle, slots map[string]int) (*joinPlan, error) {
 	j := p.join
 	dt := dh.Table()
 	dschema := dt.Schema()
@@ -492,6 +523,14 @@ func compileJoin(p *Plan, schema columnar.Schema, dh *oltp.TableHandle, slots ma
 		if col < 0 {
 			return nil, fmt.Errorf("query: dimension %q has no column %q", j.dim, pr.col)
 		}
+		if len(predParams(pr)) > 0 {
+			if err := c.noteParams(pr, dschema.Columns[col].Type, dt.Dict(col), siteJoin, len(jp.preds)); err != nil {
+				return nil, err
+			}
+			jp.preds = append(jp.preds, dimFilter{col: col, ftest: ftest{kind: fNever}})
+			touched[col] = true
+			continue
+		}
 		test, err := compileTest(dt, dschema, pr)
 		if err != nil {
 			return nil, err
@@ -515,104 +554,63 @@ func compileTest(tab *columnar.Table, schema columnar.Schema, pr Pred) (ftest, e
 	}
 	switch schema.Columns[idx].Type {
 	case columnar.Int64:
-		lo, err := toInt64(pr.col, pr.lo)
-		if err != nil {
-			return ftest{}, err
-		}
-		t := ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}
-		switch pr.op {
-		case opEq:
-			t.ilo, t.ihi = lo, lo
-		case opNe:
-			return ftest{kind: fIntNe, ilo: lo}, nil
-		case opGt:
-			if lo == math.MaxInt64 {
-				return ftest{kind: fNever}, nil
-			}
-			t.ilo = lo + 1
-		case opGe:
-			t.ilo = lo
-		case opLt:
-			if lo == math.MinInt64 {
-				return ftest{kind: fNever}, nil
-			}
-			t.ihi = lo - 1
-		case opLe:
-			t.ihi = lo
-		case opBetween:
-			hi, err := toInt64(pr.col, pr.hi)
-			if err != nil {
-				return ftest{}, err
-			}
-			t.ilo, t.ihi = lo, hi
-		case opNotBetween:
-			hi, err := toInt64(pr.col, pr.hi)
-			if err != nil {
-				return ftest{}, err
-			}
-			return ftest{kind: fIntNotRange, ilo: lo, ihi: hi}, nil
-		}
-		return t, nil
+		return makeIntTest(pr)
 	case columnar.Float64:
-		lo, err := toFloat64(pr.col, pr.lo)
-		if err != nil {
-			return ftest{}, err
-		}
-		t := ftest{kind: fFloatRange, flo: math.Inf(-1), fhi: math.Inf(1)}
-		switch pr.op {
-		case opEq:
-			t.flo, t.fhi = lo, lo
-		case opNe:
-			return ftest{kind: fFloatNe, flo: lo}, nil
-		case opGt:
-			t.flo = math.Nextafter(lo, math.Inf(1))
-		case opGe:
-			t.flo = lo
-		case opLt:
-			t.fhi = math.Nextafter(lo, math.Inf(-1))
-		case opLe:
-			t.fhi = lo
-		case opBetween:
-			hi, err := toFloat64(pr.col, pr.hi)
-			if err != nil {
-				return ftest{}, err
-			}
-			t.flo, t.fhi = lo, hi
-		case opNotBetween:
-			hi, err := toFloat64(pr.col, pr.hi)
-			if err != nil {
-				return ftest{}, err
-			}
-			return ftest{kind: fFloatNotRange, flo: lo, fhi: hi}, nil
-		}
-		return t, nil
+		return makeFloatTest(pr)
 	case columnar.String:
-		s, ok := pr.lo.(string)
-		if !ok {
-			return ftest{}, fmt.Errorf("query: string column %q compared with %v (%T): %w", pr.col, pr.lo, pr.lo, ErrPredType)
-		}
-		if pr.op != opEq && pr.op != opNe {
-			return ftest{}, fmt.Errorf("query: string column %q supports only Eq/Ne, got %v", pr.col, pr.op)
-		}
-		code, known := tab.Dict(idx).Lookup(s)
-		if pr.op == opEq {
-			if !known {
-				return ftest{kind: fNever}, nil
-			}
-			return ftest{kind: fIntRange, ilo: code, ihi: code}, nil
-		}
-		if !known {
-			return ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}, nil
-		}
-		return ftest{kind: fIntNe, ilo: code}, nil
+		return makeStringTest(tab.Dict(idx), pr)
 	}
 	return ftest{}, fmt.Errorf("query: unsupported predicate %v on column %q", pr.op, pr.col)
 }
 
-// compileFloatTest specializes a predicate for float64 result cells — the
-// Having path, where every emitted value (group keys included) is already
-// a decoded float64.
-func compileFloatTest(pr Pred) (ftest, error) {
+// makeIntTest canonicalizes a predicate over an int64 column into a raw
+// word test. WithArgs re-runs only this step when stamping parameters, so
+// stamped tests are identical to freshly compiled ones.
+func makeIntTest(pr Pred) (ftest, error) {
+	lo, err := toInt64(pr.col, pr.lo)
+	if err != nil {
+		return ftest{}, err
+	}
+	t := ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}
+	switch pr.op {
+	case opEq:
+		t.ilo, t.ihi = lo, lo
+	case opNe:
+		return ftest{kind: fIntNe, ilo: lo}, nil
+	case opGt:
+		if lo == math.MaxInt64 {
+			return ftest{kind: fNever}, nil
+		}
+		t.ilo = lo + 1
+	case opGe:
+		t.ilo = lo
+	case opLt:
+		if lo == math.MinInt64 {
+			return ftest{kind: fNever}, nil
+		}
+		t.ihi = lo - 1
+	case opLe:
+		t.ihi = lo
+	case opBetween:
+		hi, err := toInt64(pr.col, pr.hi)
+		if err != nil {
+			return ftest{}, err
+		}
+		t.ilo, t.ihi = lo, hi
+	case opNotBetween:
+		hi, err := toInt64(pr.col, pr.hi)
+		if err != nil {
+			return ftest{}, err
+		}
+		return ftest{kind: fIntNotRange, ilo: lo, ihi: hi}, nil
+	}
+	return t, nil
+}
+
+// makeFloatTest canonicalizes a predicate in IEEE float space — float64
+// columns, and the Having path where every emitted cell (group keys
+// included) is already a decoded float64.
+func makeFloatTest(pr Pred) (ftest, error) {
 	lo, err := toFloat64(pr.col, pr.lo)
 	if err != nil {
 		return ftest{}, err
@@ -642,6 +640,30 @@ func compileFloatTest(pr Pred) (ftest, error) {
 		t.flo, t.fhi = lo, hi
 	}
 	return t, nil
+}
+
+// makeStringTest resolves a string literal through the column's
+// dictionary: equality against a known code, never-match for unknown
+// strings (inequality then matches everything).
+func makeStringTest(dict *columnar.Dict, pr Pred) (ftest, error) {
+	s, ok := pr.lo.(string)
+	if !ok {
+		return ftest{}, fmt.Errorf("query: string column %q compared with %v (%T): %w", pr.col, pr.lo, pr.lo, ErrPredType)
+	}
+	if pr.op != opEq && pr.op != opNe {
+		return ftest{}, fmt.Errorf("query: string column %q supports only Eq/Ne, got %v", pr.col, pr.op)
+	}
+	code, known := dict.Lookup(s)
+	if pr.op == opEq {
+		if !known {
+			return ftest{kind: fNever}, nil
+		}
+		return ftest{kind: fIntRange, ilo: code, ihi: code}, nil
+	}
+	if !known {
+		return ftest{kind: fIntRange, ilo: math.MinInt64, ihi: math.MaxInt64}, nil
+	}
+	return ftest{kind: fIntNe, ilo: code}, nil
 }
 
 func toInt64(col string, v any) (int64, error) {

@@ -1,0 +1,239 @@
+package elastichtap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"elastichtap/internal/core"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/rde"
+	"elastichtap/query"
+)
+
+// ErrClosed reports a query or submission against a System whose Close
+// has begun. Close drains in-flight work and then rejects: queries
+// admitted before Close complete normally, later ones fail with an error
+// wrapping this sentinel.
+var ErrClosed = olap.ErrClosed
+
+// ErrCancelled reports a query abandoned before completion — a cancelled
+// context, an expired deadline, or Handle.Cancel. The returned error
+// wraps both ErrCancelled and the context's own cause, so
+//
+//	errors.Is(err, elastichtap.ErrCancelled)   // any cancellation
+//	errors.Is(err, context.DeadlineExceeded)   // specifically a timeout
+//
+// both work. Cancellation is observed between admission phases and, once
+// executing, at morsel boundaries: the error arrives within one morsel's
+// work per active worker, partial results are discarded, and the System
+// (pool, placement, replicas) remains fully usable.
+var ErrCancelled = olap.ErrCancelled
+
+// ErrPending is returned by Handle.Report while the submission is still
+// executing.
+var ErrPending = errors.New("elastichtap: query still executing")
+
+// Args re-exports the prepared-statement argument set (package
+// elastichtap/query): one value per query.Param name in the plan.
+type Args = query.Args
+
+// QueryContext is Query with cancellation: the context is observed
+// through admission (switch, migration, ETL) and during execution at
+// morsel boundaries. A cancelled query fails with an error wrapping
+// ErrCancelled and the context's cause; the System stays fully usable.
+func (s *System) QueryContext(ctx context.Context, q Query) (QueryReport, error) {
+	if s.db == nil {
+		return QueryReport{}, fmt.Errorf("elastichtap: Query: %w", ErrNoDatabase)
+	}
+	rep, _, err := s.inner.RunQueryContext(ctx, q, core.QueryOptions{}, nil)
+	return rep, err
+}
+
+// QueryInStateContext is QueryInState with cancellation (see
+// QueryContext).
+func (s *System) QueryInStateContext(ctx context.Context, q Query, st State) (QueryReport, error) {
+	if s.db == nil {
+		return QueryReport{}, fmt.Errorf("elastichtap: QueryInState: %w", ErrNoDatabase)
+	}
+	rep, _, err := s.inner.RunQueryContext(ctx, q, core.QueryOptions{ForceState: core.ForcedState(st)}, nil)
+	return rep, err
+}
+
+// QueryBatchContext is QueryBatch with cancellation: the batch shares one
+// snapshot and a single ETL, and the context is checked before each
+// member and during each execution. On cancellation the reports of the
+// queries that completed are returned alongside the error.
+func (s *System) QueryBatchContext(ctx context.Context, qs []Query) ([]QueryReport, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("elastichtap: QueryBatch: %w", ErrNoDatabase)
+	}
+	var out []QueryReport
+	var set *rde.SnapshotSet
+	for _, q := range qs {
+		opt := core.QueryOptions{Batch: true}
+		if set != nil {
+			opt.SkipSwitch = true
+		}
+		rep, next, err := s.inner.RunQueryContext(ctx, q, opt, set)
+		if err != nil {
+			return out, err
+		}
+		set = next
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Handle tracks one asynchronous query submission. Obtain one from
+// System.Submit or Stmt.Submit; then Wait for the outcome, select on
+// Done, poll Report, or Cancel the execution.
+type Handle struct {
+	query  string
+	cancel context.CancelFunc
+	done   chan struct{}
+	rep    QueryReport
+	err    error
+}
+
+// Query returns the submitted query's display name.
+func (h *Handle) Query() string { return h.query }
+
+// Done returns a channel closed when the submission finishes — however it
+// finishes: success, failure, or cancellation.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the submission finishes and returns its outcome.
+// Safe to call from several goroutines; every caller sees the same
+// report and error.
+func (h *Handle) Wait() (QueryReport, error) {
+	<-h.done
+	return h.rep, h.err
+}
+
+// Report returns the outcome without blocking: ErrPending while the
+// query is still executing, Wait's result afterwards.
+func (h *Handle) Report() (QueryReport, error) {
+	select {
+	case <-h.done:
+		return h.rep, h.err
+	default:
+		return QueryReport{}, ErrPending
+	}
+}
+
+// Cancel abandons the submission: unstarted work is discarded at the next
+// morsel boundary and Wait returns an error wrapping ErrCancelled and
+// context.Canceled. Cancelling a finished submission is a no-op — a
+// cancel racing normal completion keeps the successful result. Cancel
+// does not block for the drain; Wait observes it.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Submit enqueues a query for asynchronous execution and returns
+// immediately. Many client goroutines may submit concurrently: admission
+// (snapshot switch, freshness measurement, migration, ETL) runs one
+// query at a time — in no guaranteed order across submissions — while
+// the executions interleave their morsels on the shared elastic worker
+// pool: the multi-client serving shape the paper's scheduler was built
+// for. The context governs the whole submission (queueing included);
+// Handle.Cancel cancels just this query.
+func (s *System) Submit(ctx context.Context, q Query) (*Handle, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("elastichtap: Submit: %w", ErrNoDatabase)
+	}
+	return s.submit(ctx, q)
+}
+
+// submit spawns the submission goroutine; callers have validated the
+// database.
+func (s *System) submit(ctx context.Context, q Query) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, olap.CancelErr(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	h := &Handle{query: q.Name(), cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer cancel()
+		rep, _, err := s.inner.RunQueryContext(cctx, q, core.QueryOptions{}, nil)
+		h.rep, h.err = rep, err
+		close(h.done)
+	}()
+	return h, nil
+}
+
+// Stmt is a prepared statement: a logical plan bound once against the
+// catalog — name resolution, predicate typing, kernel selection — and
+// executed many times with different parameter values. Create one with
+// System.Prepare over a plan carrying query.Param placeholders; each
+// execution stamps the values into the compiled predicate tests without
+// re-running compilation, and produces results bitwise identical to
+// rebinding the plan with the values inlined. A Stmt is safe for
+// concurrent use.
+type Stmt struct {
+	sys *System
+	c   *query.Compiled
+}
+
+// Prepare binds a logical plan against the loaded database and returns a
+// reusable prepared statement. Placeholder positions are type-checked
+// against the catalog here; only the values arrive later. Plans without
+// parameters prepare too — Query then takes nil args.
+func (s *System) Prepare(p *Plan) (*Stmt, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("elastichtap: Prepare: %w", ErrNoDatabase)
+	}
+	c, err := p.Bind(s.db)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sys: s, c: c}, nil
+}
+
+// ParamNames returns the statement's distinct parameter names, sorted;
+// empty for parameterless plans.
+func (st *Stmt) ParamNames() []string { return st.c.ParamNames() }
+
+// Query stamps args into the statement and executes it adaptively (see
+// QueryContext). Missing, unknown or wrongly-typed arguments fail before
+// the system is touched.
+func (st *Stmt) Query(ctx context.Context, args Args) (QueryReport, error) {
+	q, err := st.c.WithArgs(args)
+	if err != nil {
+		return QueryReport{}, err
+	}
+	return st.sys.QueryContext(ctx, q)
+}
+
+// QueryInState stamps args into the statement and executes it with the
+// system pinned to a state (static schedules, A/B comparisons of one
+// prepared report).
+func (st *Stmt) QueryInState(ctx context.Context, args Args, state State) (QueryReport, error) {
+	q, err := st.c.WithArgs(args)
+	if err != nil {
+		return QueryReport{}, err
+	}
+	return st.sys.QueryInStateContext(ctx, q, state)
+}
+
+// Submit stamps args into the statement and enqueues it asynchronously
+// (see System.Submit).
+func (st *Stmt) Submit(ctx context.Context, args Args) (*Handle, error) {
+	q, err := st.c.WithArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.sys.Submit(ctx, q)
+}
+
+// TableFreshness reports one table's freshness in isolation: the rate of
+// replica-identical tuples over the table's tuples, and the fresh bytes
+// an ETL of just this table would copy. Unlike the system-wide Freshness,
+// this reads the staleness of exactly the table a workload cares about.
+func (s *System) TableFreshness(table string) (rate float64, freshBytes int64, err error) {
+	h := s.inner.OLTPE.Table(table)
+	if h == nil {
+		return 0, 0, fmt.Errorf("elastichtap: unknown table %q", table)
+	}
+	f := s.inner.X.TableFreshness(h)
+	return f.Rate, f.Nft, nil
+}
