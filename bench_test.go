@@ -486,6 +486,30 @@ func BenchmarkStmtReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiTenantTail runs the open-loop multi-tenant serving
+// scenario and reports each tenant's wall-clock latency tail plus its
+// measured morsel share, so benchjson lands the per-tenant serving
+// profile in BENCH_ci.json next to the kernel numbers.
+func BenchmarkMultiTenantTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MultiTenant(benchOpt(), 240)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Rejected == r.Submitted {
+				// Zero-quota tenant: only the rejection count is meaningful.
+				b.ReportMetric(float64(r.Rejected), r.Tenant+"-rejected")
+				continue
+			}
+			b.ReportMetric(r.P50Ms, r.Tenant+"-p50-ms")
+			b.ReportMetric(r.P99Ms, r.Tenant+"-p99-ms")
+			b.ReportMetric(r.P999Ms, r.Tenant+"-p999-ms")
+			b.ReportMetric(r.MorselShare, r.Tenant+"-morsel-share")
+		}
+	}
+}
+
 // BenchmarkInstanceSwitch measures the real switch+sync path latency.
 func BenchmarkInstanceSwitch(b *testing.B) {
 	sys, err := core.NewSystem(core.DefaultSystemConfig())

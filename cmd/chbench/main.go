@@ -26,13 +26,14 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 1, 3a, 3b, 3c, 4, 5a, 5b, alpha, tail, sync, convergence, all")
+		fig       = flag.String("fig", "", "figure to regenerate: 1, 3a, 3b, 3c, 4, 5a, 5b, alpha, tail, tenants, sync, convergence, all")
 		table     = flag.Int("table", 0, "table to regenerate (1)")
 		sf        = flag.Float64("sf", 0.01, "loaded scale factor")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		sequences = flag.Int("sequences", 100, "Figure 5 sequence count")
 		alpha     = flag.Float64("alpha", 0, "override scheduler α (0 = default)")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		mtqueries = flag.Int("mtqueries", 240, "multi-tenant scenario arrival count")
 	)
 	flag.Parse()
 
@@ -54,13 +55,13 @@ func main() {
 	}
 	opt := experiments.Options{SF: *sf, Seed: *seed, Alpha: *alpha}
 	run := func(name string) {
-		if err := runFigContext(ctx, name, opt, *sequences); err != nil {
+		if err := runFigContext(ctx, name, opt, *sequences, *mtqueries); err != nil {
 			fmt.Fprintf(os.Stderr, "chbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 	if *fig == "all" {
-		for _, name := range []string{"1", "3a", "3b", "3c", "4", "5a", "alpha", "tail", "sync", "convergence"} {
+		for _, name := range []string{"1", "3a", "3b", "3c", "4", "5a", "alpha", "tail", "tenants", "sync", "convergence"} {
 			run(name)
 		}
 		experiments.Banner(os.Stdout, "Table 1: HTAP design classification")
@@ -75,13 +76,13 @@ func main() {
 // wait. The experiment goroutine is left to the process teardown — the
 // figure drivers are synchronous sweeps with no external effects, so
 // exiting under a deadline is safe.
-func runFigContext(ctx context.Context, name string, opt experiments.Options, sequences int) error {
+func runFigContext(ctx context.Context, name string, opt experiments.Options, sequences, mtQueries int) error {
 	if ctx.Done() == nil {
-		return runFig(name, opt, sequences)
+		return runFig(name, opt, sequences, mtQueries)
 	}
 	done := make(chan error, 1)
 	start := time.Now()
-	go func() { done <- runFig(name, opt, sequences) }()
+	go func() { done <- runFig(name, opt, sequences, mtQueries) }()
 	select {
 	case err := <-done:
 		return err
@@ -90,7 +91,7 @@ func runFigContext(ctx context.Context, name string, opt experiments.Options, se
 	}
 }
 
-func runFig(name string, opt experiments.Options, sequences int) error {
+func runFig(name string, opt experiments.Options, sequences, mtQueries int) error {
 	switch name {
 	case "1":
 		experiments.Banner(os.Stdout, "Figure 1: HTAP with ETL and CoW (4-socket server)")
@@ -152,6 +153,13 @@ func runFig(name string, opt experiments.Options, sequences int) error {
 			return err
 		}
 		experiments.RenderTail(os.Stdout, rows)
+	case "tenants":
+		experiments.Banner(os.Stdout, "Multi-tenant serving: weighted fair shares and latency tails")
+		rows, err := experiments.MultiTenant(opt, mtQueries)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTenants(os.Stdout, rows)
 	case "sync":
 		experiments.Banner(os.Stdout, "§3.4 claim: instance synchronization cost")
 		experiments.RenderSyncClaim(os.Stdout, experiments.SyncClaim(0, 0))

@@ -10,6 +10,12 @@
 //	htapctl -state S2            # pin a static state instead of adapting
 //	htapctl -query adhoc         # a prepared group-by report, stamped per round
 //	htapctl -timeout 30s         # deadline the whole run
+//	htapctl -tenant dashboards   # run the rounds as a registered tenant
+//
+// With -tenant the rounds pass the workload manager's admission gate as
+// that tenant (registered up front with -tenantweight), and the final
+// metrics include the per-tenant table: admissions, rejections, queue
+// wait, morsels dispatched and bytes charged.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		queryName = flag.String("query", "Q6", "query per round: Q1, Q3, Q6, Q12, Q18, Q19, mix, adhoc, topk")
 		emulate   = flag.Float64("emulate", 300, "report timings as if at this scale factor")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry cancels the in-flight query at the next morsel boundary")
+		tenant    = flag.String("tenant", "", "run the round queries as this workload-manager tenant (empty = default tenant)")
+		weight    = flag.Int("tenantweight", 4, "fair-share weight for -tenant")
 	)
 	flag.Parse()
 
@@ -60,6 +68,17 @@ func main() {
 	db := sys.LoadCH(*sf, *seed)
 	if err := sys.StartWorkload(*payment); err != nil {
 		log.Fatal(err)
+	}
+	if *tenant != "" {
+		err := sys.RegisterTenant(*tenant, elastichtap.TenantConfig{
+			Weight:        *weight,
+			MaxConcurrent: elastichtap.UnlimitedQuota,
+			MaxQueueDepth: elastichtap.UnlimitedQuota,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx = elastichtap.WithTenant(ctx, *tenant)
 	}
 
 	var forced *elastichtap.State
@@ -114,7 +133,7 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "round\tstate\tmethod\tresp (s)\tetl (s)\tfreshness\tOLTP MTPS\tworkers\tstolen")
+	fmt.Fprintln(tw, "round\ttenant\tstate\tmethod\tresp (s)\tetl (s)\tfreshness\tOLTP MTPS\tworkers\tstolen")
 	for r := 1; r <= *rounds; r++ {
 		sys.Run(*txns)
 		rate, _ := sys.Freshness()
@@ -144,8 +163,8 @@ func main() {
 		if rep.Stats.Morsels > 0 {
 			stolen = float64(rep.Stats.StolenMorsels) / float64(rep.Stats.Morsels)
 		}
-		fmt.Fprintf(tw, "%d\t%v\t%v\t%.3f\t%.3f\t%.4f\t%.3f\t%d\t%.0f%%\n",
-			r, rep.State, rep.Method, rep.ResponseSeconds, rep.ETLSeconds,
+		fmt.Fprintf(tw, "%d\t%s\t%v\t%v\t%.3f\t%.3f\t%.4f\t%.3f\t%d\t%.0f%%\n",
+			r, rep.Tenant, rep.State, rep.Method, rep.ResponseSeconds, rep.ETLSeconds,
 			rate, rep.OLTPDuringTPS/1e6, rep.Stats.Workers, stolen*100)
 	}
 	tw.Flush()

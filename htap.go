@@ -45,6 +45,29 @@
 // The synchronous methods (Query, QueryBatch, QueryInState) remain as
 // thin context.Background wrappers.
 //
+// A multi-tenant workload manager (internal/workload) arbitrates between
+// sessions before any query reaches the scheduler. Tenants register with
+// a priority weight and resource quotas, and every query runs as some
+// tenant — the implicit "default" tenant (weight 1, no quotas) unless the
+// context says otherwise:
+//
+//	sys.RegisterTenant("dashboards", elastichtap.TenantConfig{
+//		Weight:         4,                 // 4x the morsel share of a weight-1 tenant
+//		MaxConcurrent:  8,                 // admission gate
+//		MaxQueueDepth:  32,                // waiting room; beyond it: ErrOverloaded
+//		BytesPerWindow: 64 << 20,          // scanned-bytes budget
+//		Window:         time.Second,
+//	})
+//	ctx := elastichtap.WithTenant(ctx, "dashboards")
+//	rep, err := sys.QueryContext(ctx, q)
+//
+// Under contention the elastic pool's deficit-round-robin dispatcher
+// divides morsel throughput between backlogged tenants in proportion to
+// their weights; an overloaded tenant's admissions fail fast with a typed
+// *OverloadError (errors.Is ErrOverloaded) carrying retry-after metadata
+// instead of queueing unboundedly. Per-tenant occupancy, admission waits,
+// morsel dispatch and scanned bytes appear in Metrics and TenantStats.
+//
 // Each migration resizes the pool mid-query: workers park or wake as the
 // scheduler moves cores between the engines, and Stats.Workers reports
 // how many actually participated. Results are nonetheless bitwise

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"elastichtap/internal/metrics"
 	"elastichtap/internal/topology"
 )
@@ -33,6 +35,28 @@ func (s *System) Metrics() metrics.Snapshot {
 	snap.Switches = switches
 	snap.SyncedRows = synced
 	snap.ETLBytes = etl
+	// Join the workload manager's admission counters with the OLAP pool's
+	// measured per-tenant morsel dispatch. Tenants the pool has seen but
+	// the manager has not (direct engine submissions) still get a row.
+	dispatch := s.OLAPE.TenantDispatch()
+	for _, ts := range s.WM.Stats() {
+		snap.Tenants = append(snap.Tenants, metrics.Tenant{
+			Name:              ts.Name,
+			Weight:            ts.Weight,
+			Running:           ts.Running,
+			Queued:            ts.Queued,
+			Admitted:          ts.Admitted,
+			Rejected:          ts.Rejected,
+			AdmissionWait:     ts.AdmissionWait,
+			MorselsDispatched: dispatch[ts.Name],
+			BytesScanned:      ts.BytesScanned,
+		})
+		delete(dispatch, ts.Name)
+	}
+	for name, morsels := range dispatch {
+		snap.Tenants = append(snap.Tenants, metrics.Tenant{Name: name, MorselsDispatched: morsels})
+	}
+	sort.Slice(snap.Tenants, func(i, j int) bool { return snap.Tenants[i].Name < snap.Tenants[j].Name })
 	if snap.TotalRows > 0 {
 		snap.FreshnessRate = float64(snap.TotalRows-snap.FreshRows) / float64(snap.TotalRows)
 	} else {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
+	"elastichtap/internal/workload"
 )
 
 // SystemConfig assembles a complete HTAP system.
@@ -53,6 +55,13 @@ type System struct {
 	OLAPE  *olap.Engine
 	X      *rde.Exchange
 	Sched  *Scheduler
+	// WM is the multi-tenant workload manager: every query passes through
+	// its tenant's admission queue (quotas, backpressure) before the
+	// serialized scheduling protocol, and the tenant's weight drives the
+	// OLAP pool's weighted-fair morsel dispatch. Untenanted contexts run
+	// as the unlimited default tenant. Tests may swap in a manager with a
+	// fake clock before issuing queries.
+	WM *workload.Manager
 
 	// admitMu serializes the per-query admission protocol — switch+sync,
 	// freshness measurement, state migration, ETL and access-path build —
@@ -92,6 +101,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		OLAPE:  olapE,
 		X:      rde.New(ledger, model, oltpE, olapE, cfg.OLTPSocket, cfg.OLAPSocket),
 		Sched:  sched,
+		WM:     workload.New(),
 	}
 	// Every migration — from RunQuery or anyone calling Sched.MigrateTo —
 	// resizes both worker pools immediately, so the OLAP pool sheds or
@@ -117,6 +127,15 @@ func (s *System) ApplyPlacements() {
 
 // scale applies the byte-scale emulation factor.
 func (s *System) scale(b int64) int64 { return int64(float64(b) * s.Cfg.ByteScale) }
+
+// sumBytes totals a per-socket byte attribution.
+func sumBytes(bs []int64) int64 {
+	var n int64
+	for _, b := range bs {
+		n += b
+	}
+	return n
+}
 
 func (s *System) scaleAll(bs []int64) []int64 {
 	out := make([]int64, len(bs))
@@ -168,6 +187,9 @@ type QueryReport struct {
 	Query  string
 	State  State
 	Method rde.AccessMethod
+	// Tenant is the workload-manager tenant the query ran as ("default"
+	// for untenanted callers).
+	Tenant string
 
 	// Simulated durations (seconds) from the cost model.
 	ExecSeconds     float64 // pipeline execution
@@ -318,19 +340,42 @@ func (s *System) RunQueryContext(ctx context.Context, q olap.Query, opt QueryOpt
 		}
 	}
 
+	// Workload-manager admission comes first: the tenant's concurrency
+	// slot and quota check gate the serialized scheduling protocol, so an
+	// overloaded tenant is rejected (typed ErrOverloaded, retry-after
+	// metadata) before it can queue on admitMu, and a queued-but-unadmitted
+	// query that is cancelled frees its slot without ever touching the
+	// exchange. The grant is released with the scaled bytes the execution
+	// actually scanned — the same emulated volume the cost model charges —
+	// so per-tenant byte budgets account in cost-model units.
+	tenant := workload.TenantFrom(ctx)
+	grant, err := s.WM.Admit(ctx, tenant)
+	if err != nil {
+		// A context expiring while queued (or pre-cancelled) keeps the
+		// session contract: the error wraps ErrCancelled and the cause.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = olap.CancelErr(err)
+		}
+		return QueryReport{}, snap, fmt.Errorf("core: query %s: %w", q.Name(), err)
+	}
+
 	adm, err := s.admitQuery(ctx, q, opt, snap)
 	if err != nil {
+		grant.Release(0)
 		return QueryReport{}, adm.set, err
 	}
 
 	// The scan pin taken at admission holds through the execution:
 	// switches and ETLs that would overwrite cells this scan reads wait
 	// for release (no-op contention for insert-only fact tables).
-	res, stats, err := s.OLAPE.ExecuteContext(ctx, q, adm.src)
+	res, stats, err := s.OLAPE.ExecuteTenantContext(ctx, q, adm.src,
+		olap.TenantInfo{Name: tenant, Weight: s.WM.Weight(tenant)})
 	adm.release()
 	if err != nil {
+		grant.Release(0)
 		return QueryReport{}, adm.set, err
 	}
+	grant.Release(s.scale(sumBytes(stats.BytesAt)))
 
 	base := s.Model.OLTPThroughput(costmodel.OLTPLoad{
 		Workers: adm.oltpPlace, HomeSocket: s.Cfg.OLTPSocket,
@@ -360,6 +405,7 @@ func (s *System) RunQueryContext(ctx context.Context, q olap.Query, opt QueryOpt
 		Query:           q.Name(),
 		State:           adm.state,
 		Method:          adm.method,
+		Tenant:          tenant,
 		ExecSeconds:     scan.Seconds,
 		ETLSeconds:      adm.etlSeconds,
 		SyncSeconds:     adm.syncSeconds,

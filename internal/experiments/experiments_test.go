@@ -204,6 +204,44 @@ func TestRenderers(t *testing.T) {
 	}
 }
 
+// TestMultiTenantScenario checks the serving scenario's invariants at a
+// smoke scale: the zero-quota tenant completes nothing and rejects
+// everything it submitted, the weighted tenants complete everything they
+// submitted, and the morsel shares sum to 1.
+func TestMultiTenantScenario(t *testing.T) {
+	rows, err := MultiTenant(tinyOpt(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("tenant rows = %d, want 4", len(rows))
+	}
+	var share float64
+	var completed int
+	for _, r := range rows {
+		share += r.MorselShare
+		completed += r.Completed
+		if r.Tenant == "throttled" {
+			if r.Completed != 0 || r.Rejected != r.Submitted {
+				t.Fatalf("throttled tenant ran: %+v", r)
+			}
+			continue
+		}
+		if r.Completed != r.Submitted || r.Rejected != 0 {
+			t.Fatalf("weighted tenant %s lost queries: %+v", r.Tenant, r)
+		}
+		if r.Completed > 0 && (r.P50Ms <= 0 || r.P99Ms < r.P50Ms) {
+			t.Fatalf("tenant %s percentiles inconsistent: %+v", r.Tenant, r)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no queries completed")
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("morsel shares sum to %v, want 1", share)
+	}
+}
+
 func TestMetricsSnapshot(t *testing.T) {
 	env, err := NewEnv(tinyOpt())
 	if err != nil {

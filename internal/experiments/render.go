@@ -152,6 +152,20 @@ func RenderTail(w io.Writer, rows []TailRow) {
 	tw.Flush()
 }
 
+// RenderTenants writes the multi-tenant serving scenario: per-tenant
+// arrival/rejection counts, latency tails, and measured morsel share
+// against the configured weight share.
+func RenderTenants(w io.Writer, rows []TenantRow) {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "tenant\tclass\tweight\tsubmitted\tcompleted\trejected\tP50 (ms)\tP99 (ms)\tP99.9 (ms)\tmorsel share\tweight share")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\t%.3f\n",
+			r.Tenant, r.Class, r.Weight, r.Submitted, r.Completed, r.Rejected,
+			r.P50Ms, r.P99Ms, r.P999Ms, r.MorselShare, r.WeightShare)
+	}
+	tw.Flush()
+}
+
 // RenderAlpha writes the α-sweep ablation.
 func RenderAlpha(w io.Writer, rows []AlphaRow) {
 	tw := newTW(w)

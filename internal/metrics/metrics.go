@@ -8,7 +8,29 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+	"time"
 )
+
+// Tenant is one workload-manager tenant's observability row: admission
+// occupancy and counters from the workload manager joined with the OLAP
+// pool's measured morsel dispatch.
+type Tenant struct {
+	Name   string
+	Weight int
+	// Running and Queued are current admission-gate occupancy gauges.
+	Running, Queued int
+	// Admitted and Rejected count admissions; Rejected are the typed
+	// ErrOverloaded backpressure rejections (queue depth or byte budget).
+	Admitted, Rejected uint64
+	// AdmissionWait is cumulative wall time spent queued for admission.
+	AdmissionWait time.Duration
+	// MorselsDispatched is the pool's measured dispatch counter — the
+	// quantity weighted-fair shares are asserted on.
+	MorselsDispatched int64
+	// BytesScanned is the lifetime scanned-byte total charged against the
+	// tenant's quota windows (cost-model-scaled units).
+	BytesScanned int64
+}
 
 // Snapshot is a point-in-time view of the whole system.
 type Snapshot struct {
@@ -37,6 +59,9 @@ type Snapshot struct {
 	OLAPCores     int
 	OLAPPoolSize  int // live OLAP pool workers (tracks OLAPCores after resizes)
 	FreshnessRate float64
+
+	// Tenants are the workload manager's per-tenant rows, sorted by name.
+	Tenants []Tenant
 }
 
 // WriteTo renders the snapshot as an aligned table.
@@ -67,6 +92,27 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	for _, r := range rows {
 		m, err := fmt.Fprintf(tw, "%s\t%v\n", r.k, r.v)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return n, err
+	}
+	if len(s.Tenants) == 0 {
+		return n, nil
+	}
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	m, err := fmt.Fprintf(tw, "\ntenant\tweight\trunning\tqueued\tadmitted\trejected\twait\tmorsels\tbytes\n")
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, t := range s.Tenants {
+		m, err := fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+			t.Name, t.Weight, t.Running, t.Queued, t.Admitted, t.Rejected,
+			t.AdmissionWait.Round(time.Millisecond), t.MorselsDispatched, t.BytesScanned)
 		n += int64(m)
 		if err != nil {
 			return n, err

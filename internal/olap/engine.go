@@ -130,8 +130,15 @@ type Engine struct {
 	stopping  map[int]*worker // retired workers whose goroutines are still draining
 	nlive     int             // goroutines not yet exited (active + stopping)
 	nextID    int
-	tasks     []*Task // admission order
-	closed    bool
+	tasks     []*Task // admission order, across all tenants
+	// tenants/ring/cur are the weighted-fair dispatcher's state: one
+	// runnable list per tenant, served deficit-round-robin (see grab in
+	// tenant.go). A pool that only ever sees untenanted submissions has a
+	// single "default" entry and dispatches exactly as before.
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue
+	cur     int
+	closed  bool
 }
 
 // NewEngine returns an engine for a machine with the given socket count.
@@ -144,6 +151,7 @@ func NewEngine(sockets int) *Engine {
 		sockets:  sockets,
 		workers:  make([][]*worker, sockets),
 		stopping: map[int]*worker{},
+		tenants:  map[string]*tenantQueue{},
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
@@ -254,10 +262,17 @@ func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
 // (see Task.Cancel) and the call returns an error wrapping ErrCancelled
 // and the context's cause. The pool stays fully usable afterwards.
 func (e *Engine) ExecuteContext(ctx context.Context, q Query, src Source) (Result, Stats, error) {
+	return e.ExecuteTenantContext(ctx, q, src, TenantInfo{})
+}
+
+// ExecuteTenantContext is ExecuteContext on behalf of a tenant: the task
+// joins the tenant's runnable list and competes for workers under the
+// weighted-fair dispatcher. The zero TenantInfo is the default tenant.
+func (e *Engine) ExecuteTenantContext(ctx context.Context, q Query, src Source, tn TenantInfo) (Result, Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, Stats{}, CancelErr(err)
 	}
-	t, err := e.Submit(q, src)
+	t, err := e.SubmitTenant(q, src, tn)
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
@@ -269,8 +284,16 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query, src Source) (Resul
 // morsel (never more — there is no state for workers that end up with
 // nothing to do), and parked workers wake. When the pool is empty at
 // admission the submitting goroutine drains the task itself during Wait,
-// so a zero placement still makes progress.
+// so a zero placement still makes progress. The task runs as the default
+// tenant; SubmitTenant attributes it to a weighted tenant instead.
 func (e *Engine) Submit(q Query, src Source) (*Task, error) {
+	return e.SubmitTenant(q, src, TenantInfo{})
+}
+
+// SubmitTenant is Submit on behalf of a tenant: the task joins the
+// tenant's runnable list, and the pool's deficit-round-robin dispatcher
+// serves backlogged tenants in proportion to their weights (see grab).
+func (e *Engine) SubmitTenant(q Query, src Source, tn TenantInfo) (*Task, error) {
 	// Queries carrying a deferred construction error (olap.Invalid, an
 	// unstamped prepared statement) must not reach Prepare.
 	if v, ok := q.(interface{ Err() error }); ok {
@@ -333,28 +356,13 @@ func (e *Engine) Submit(q Query, src Source) (*Task, error) {
 	if t.remaining == 0 {
 		close(t.done)
 	} else {
+		t.tq = e.tenantFor(tn)
+		t.tq.tasks = append(t.tq.tasks, t)
 		e.tasks = append(e.tasks, t)
 		e.cond.Broadcast()
 	}
 	e.mu.Unlock()
 	return t, nil
-}
-
-// grab pops the next morsel for a worker on the given socket: oldest task
-// first, own-socket FIFO head before stealing from another socket's tail.
-// Callers hold e.mu. The returned bool reports a socket-local grab.
-func (e *Engine) grab(socket int) (*Task, int, bool) {
-	for _, t := range e.tasks {
-		if mi, ok := t.pop(socket); ok {
-			return t, mi, true
-		}
-	}
-	for _, t := range e.tasks {
-		if mi, ok := t.steal(socket); ok {
-			return t, mi, false
-		}
-	}
-	return nil, 0, false
 }
 
 // queuesEmpty reports whether any admitted task still has unclaimed
@@ -368,9 +376,12 @@ func (e *Engine) queuesEmpty() bool {
 	return true
 }
 
-// removeTask drops a completed task from the admission list. Callers hold
-// e.mu.
+// removeTask drops a completed task from the admission list and its
+// tenant's runnable list. Callers hold e.mu.
 func (e *Engine) removeTask(t *Task) {
+	if t.tq != nil {
+		t.tq.removeTask(t)
+	}
 	for i, x := range e.tasks {
 		if x == t {
 			e.tasks = append(e.tasks[:i], e.tasks[i+1:]...)

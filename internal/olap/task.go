@@ -16,10 +16,11 @@ type Task struct {
 	locals  []Local
 
 	// All fields below are guarded by e.mu.
-	queue     [][]int // per-socket FIFO of morsel indexes
-	heads     []int   // next FIFO position per socket (owner pops head)
-	unclaimed int     // morsels still queued
-	remaining int     // morsels not yet consumed
+	tq        *tenantQueue // owning tenant's dispatch queue; nil for empty tasks
+	queue     [][]int      // per-socket FIFO of morsel indexes
+	heads     []int        // next FIFO position per socket (owner pops head)
+	unclaimed int          // morsels still queued
+	remaining int          // morsels not yet consumed
 	seen      map[int]struct{}
 	inline    int // pseudo-worker ids handed to inline drainers
 	stats     Stats
@@ -66,10 +67,15 @@ func (t *Task) steal(thief int) (int, bool) {
 }
 
 // popAny takes the head of any socket queue, for inline drainers with no
-// home socket. Callers hold e.mu.
+// home socket. The grab bypasses the weighted-fair dispatcher — an inline
+// drainer only ever consumes its own task — but still counts toward the
+// tenant's measured dispatch. Callers hold e.mu.
 func (t *Task) popAny() (int, bool) {
 	for s := range t.queue {
 		if mi, ok := t.pop(s); ok {
+			if t.tq != nil {
+				t.tq.dispatched++
+			}
 			return mi, true
 		}
 	}

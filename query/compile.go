@@ -157,6 +157,11 @@ type Compiled struct {
 	params  []paramSite
 	names   []string
 	stamped bool
+	// cache memoizes the last WithArgs stamping. It is a shared pointer:
+	// WithArgs copies the Compiled by value, and every copy must consult
+	// (and feed) the same cache as the statement it was stamped from. Nil
+	// for parameterless plans.
+	cache *stmtCache
 }
 
 // havingFilter is a compiled post-aggregation predicate over one output
@@ -484,6 +489,9 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.limit = p.limit
 	} else if p.limit > 0 {
 		return nil, fmt.Errorf("query: Limit without OrderBy would be non-deterministic; add OrderBy")
+	}
+	if len(c.params) > 0 {
+		c.cache = &stmtCache{}
 	}
 	return c, nil
 }

@@ -195,6 +195,169 @@ func TestParamArgValidation(t *testing.T) {
 	}
 }
 
+// TestStmtReuseFastPath: stamping the same values twice returns the
+// cached clone (pointer-identical, zero work), different values re-stamp,
+// and the cached statement still executes correctly after the cache has
+// moved on.
+func TestStmtReuseFastPath(t *testing.T) {
+	cat, e := newFixture(t)
+	stmt, err := paramFixture().Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argsA := pfArgs(1, 3, 0, 100, 0, 0)
+	qa1, err := stmt.WithArgs(argsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa2, err := stmt.WithArgs(pfArgs(1, 3, 0, 100, 0, 0)) // fresh map, same values
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa1 != qa2 {
+		t.Fatal("identical args must hit the reuse cache (pointer-equal clone)")
+	}
+	qb, err := stmt.WithArgs(pfArgs(2, 3, 0, 3.25, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb == qa1 {
+		t.Fatal("different args must produce a fresh stamping")
+	}
+	// The superseded clone keeps its values and results.
+	wantA := run(t, e, qa1)
+	litA, err := literalFixture(1, 3, 0, 100, 0, 0).Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantA, run(t, e, litA)) {
+		t.Fatal("cached stamping diverged from literal bind")
+	}
+	// Stamping a clone feeds the same shared cache as the statement.
+	qa3, err := qb.WithArgs(pfArgs(1, 3, 0, 100, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa4, err := stmt.WithArgs(pfArgs(1, 3, 0, 100, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa3 != qa4 {
+		t.Fatal("clones must share the statement's reuse cache")
+	}
+}
+
+// TestStmtReuseCacheDefensiveCopy: a caller mutating its args map after
+// WithArgs must not poison the cache — the next call with the mutated
+// values re-stamps instead of returning the stale clone.
+func TestStmtReuseCacheDefensiveCopy(t *testing.T) {
+	cat, e := newFixture(t)
+	stmt, err := Scan("sales").
+		Filter(Ge("day", Param("since"))).
+		Agg(Count().As("n")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := Args{"since": int64(2)}
+	q2, err := stmt.WithArgs(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args["since"] = int64(3) // mutate the caller's map after the call
+	q3, err := stmt.WithArgs(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 == q2 {
+		t.Fatal("mutated args returned the stale cached stamping")
+	}
+	if got := run(t, e, q2).Rows[0][0]; got != 4 {
+		t.Fatalf("since=2: count = %v, want 4", got)
+	}
+	if got := run(t, e, q3).Rows[0][0]; got != 2 {
+		t.Fatalf("since=3: count = %v, want 2", got)
+	}
+}
+
+// TestStmtReuseConcurrent hammers one prepared statement from many
+// goroutines mixing cache hits and misses; run under -race this verifies
+// the cache's synchronization and that every caller gets its own values.
+func TestStmtReuseConcurrent(t *testing.T) {
+	cat, e := newFixture(t)
+	stmt, err := Scan("sales").
+		Filter(Ge("day", Param("since"))).
+		Agg(Count().As("n")).
+		Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{1: 6, 2: 4, 3: 2}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		since := int64(g%3 + 1)
+		go func() {
+			for i := 0; i < 50; i++ {
+				q, err := stmt.WithArgs(Args{"since": since})
+				if err != nil {
+					done <- err
+					return
+				}
+				if got := run(t, e, q).Rows[0][0]; got != want[since] {
+					done <- errors.New("wrong count under concurrency")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStmtReuseBeatsRebind is the satellite's acceptance check: with the
+// reuse cache, re-executing a statement with unchanged arguments must be
+// strictly cheaper than rebinding the plan — zero allocations on a hit,
+// and less time per stamping than a full Bind.
+func TestStmtReuseBeatsRebind(t *testing.T) {
+	cat, _ := newFixture(t)
+	stmt, err := paramFixture().Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := pfArgs(1, 3, 0, 100, 0, 0)
+	if _, err := stmt.WithArgs(args); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := stmt.WithArgs(args); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("cache hit allocates %v objects/op, want 0", allocs)
+	}
+	reuse := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.WithArgs(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rebind := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := literalFixture(1, 3, 0, 100, 0, 0).Bind(cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if reuse.NsPerOp() >= rebind.NsPerOp() {
+		t.Fatalf("reuse %v ns/op not faster than rebind %v ns/op", reuse.NsPerOp(), rebind.NsPerOp())
+	}
+}
+
 // TestParamStampIsolation verifies WithArgs never mutates the prepared
 // statement: two stampings coexist and the first keeps its values.
 func TestParamStampIsolation(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"elastichtap/internal/core"
 	"elastichtap/internal/olap"
 	"elastichtap/internal/rde"
+	"elastichtap/internal/workload"
 	"elastichtap/query"
 )
 
@@ -33,6 +34,80 @@ var ErrCancelled = olap.ErrCancelled
 // ErrPending is returned by Handle.Report while the submission is still
 // executing.
 var ErrPending = errors.New("elastichtap: query still executing")
+
+// ErrOverloaded is the workload manager's backpressure sentinel: an
+// admission rejected because the tenant's queue is at its configured
+// depth or its scanned-bytes budget for the current quota window is
+// spent. Match it with errors.Is; the concrete error is a *OverloadError
+// carrying the tenant, the reason and retry-after metadata:
+//
+//	var oe *elastichtap.OverloadError
+//	if errors.As(err, &oe) {
+//	    time.Sleep(oe.RetryAfter) // 0 for queue-full: retry when a slot frees
+//	}
+//
+// Overload is reported instead of queueing unboundedly — the serving
+// system's alternative to collapse under a misbehaving tenant.
+var ErrOverloaded = workload.ErrOverloaded
+
+// ErrUnknownTenant reports a query naming a tenant that was never
+// registered; the default tenant always exists.
+var ErrUnknownTenant = workload.ErrUnknownTenant
+
+// OverloadError re-exports the workload manager's typed admission
+// rejection (tenant, reason, retry-after, occupancy).
+type OverloadError = workload.OverloadError
+
+// TenantConfig re-exports the workload manager's per-tenant priority and
+// quota configuration: Weight (fair-share of morsel throughput under
+// contention), MaxConcurrent and MaxQueueDepth (admission bounds;
+// UnlimitedQuota removes one, zero really means zero), BytesPerWindow and
+// Window (scanned-bytes budget on a monotonic clock).
+type TenantConfig = workload.Config
+
+// TenantStats re-exports one tenant's observability snapshot.
+type TenantStats = workload.TenantStats
+
+// UnlimitedQuota removes a concurrency or queue-depth bound in a
+// TenantConfig.
+const UnlimitedQuota = workload.Unlimited
+
+// DefaultTenant is the implicit tenant untenanted queries run as. It is
+// registered automatically with weight 1 and no quotas, so callers that
+// predate the workload manager behave exactly as before.
+const DefaultTenant = workload.DefaultTenant
+
+// WithTenant returns a context whose queries run as the named tenant:
+// they pass the tenant's admission gate (concurrency bound, queue depth,
+// byte budget) and compete for pool workers at the tenant's weight.
+// Thread it through QueryContext, Submit, or a prepared statement's
+// Query:
+//
+//	ctx := elastichtap.WithTenant(ctx, "dashboards")
+//	rep, err := sys.QueryContext(ctx, q)
+//
+// The tenant must have been registered with RegisterTenant (the default
+// tenant excepted); unknown names fail with ErrUnknownTenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return workload.WithTenant(ctx, tenant)
+}
+
+// RegisterTenant creates or reconfigures a workload-manager tenant.
+// Tenants are the unit of multi-tenant arbitration: each gets its own
+// admission queue and quota window, and under contention the elastic
+// pool divides morsel throughput between backlogged tenants in
+// proportion to their weights (4:2:1 weights converge to 4:2:1 shares).
+// Reconfiguration applies to subsequent admissions; in-flight queries
+// are untouched.
+func (s *System) RegisterTenant(name string, cfg TenantConfig) error {
+	return s.inner.WM.Register(name, cfg)
+}
+
+// TenantStats returns the workload manager's per-tenant snapshots sorted
+// by name; Metrics joins the same rows with measured morsel dispatch.
+func (s *System) TenantStats() []TenantStats {
+	return s.inner.WM.Stats()
+}
 
 // Args re-exports the prepared-statement argument set (package
 // elastichtap/query): one value per query.Param name in the plan.
