@@ -1,0 +1,99 @@
+package elastichtap
+
+import (
+	"testing"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/olap"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/topology"
+)
+
+// The fused kernels keep all per-morsel state in per-worker scratch and
+// warmed locals, so steady-state execution must not allocate per row or
+// per morsel. These tests pin that property with testing.AllocsPerRun
+// (its built-in warmup run absorbs one-time group-state growth).
+
+// fusedBlock builds one morsel-shaped block over the fact table's first
+// rows for the compiled query's scan columns.
+func fusedBlock(db *ch.DB, cols []int) (olap.Block, int64) {
+	tab := db.OrderLine.Table()
+	rows := tab.Rows()
+	if rows > 16384 {
+		rows = 16384 // stay inside one chunk, like an engine morsel
+	}
+	blk := olap.Block{N: int(rows), Cols: make([][]int64, len(cols))}
+	inst := tab.Active()
+	for k, c := range cols {
+		blk.Cols[k] = inst.Col(c).Slice(0, rows)
+	}
+	return blk, rows
+}
+
+// TestFusedConsumeZeroAllocsPerMorsel drives a warmed fused local
+// directly: consuming a morsel must be allocation-free for both the
+// ungrouped (Q6) and dense-grouped (Q1) kernels.
+func TestFusedConsumeZeroAllocsPerMorsel(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.TinySizing(), 1)
+	for _, p := range []struct {
+		name string
+		bind func() (olap.Query, error)
+	}{
+		{"Q1", func() (olap.Query, error) { q, err := ch.Q1Plan(0).Bind(db); return q, err }},
+		{"Q6", func() (olap.Query, error) { q, err := ch.Q6Plan(0, 0, 0, 0).Bind(db); return q, err }},
+	} {
+		t.Run(p.name, func(t *testing.T) {
+			q, err := p.bind()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec, _ := q.Prepare()
+			local := exec.NewLocal()
+			blk, _ := fusedBlock(db, q.Columns())
+			if avg := testing.AllocsPerRun(20, func() { local.Consume(blk) }); avg != 0 {
+				t.Fatalf("fused Consume allocates %.1f times per morsel, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestPreparedExecutionAllocBudget runs warmed prepared statements end to
+// end through the pool and bounds the whole-execution allocation count:
+// per-execution state (task bookkeeping, per-morsel locals, the merged
+// result) is allowed, anything scaling with rows is not.
+func TestPreparedExecutionAllocBudget(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.TinySizing(), 1)
+	tab := db.OrderLine.Table()
+	src := olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "alloc",
+	}}}
+	eng := olap.NewEngine(1)
+	eng.SetPlacement(topology.Placement{PerSocket: []int{2}})
+	defer eng.Close()
+
+	for _, p := range []struct {
+		name   string
+		bind   func() (olap.Query, error)
+		budget float64
+	}{
+		{"Q1", func() (olap.Query, error) { q, err := ch.Q1Plan(0).Bind(db); return q, err }, 64},
+		{"Q6", func() (olap.Query, error) { q, err := ch.Q6Plan(0, 0, 0, 0).Bind(db); return q, err }, 64},
+	} {
+		t.Run(p.name, func(t *testing.T) {
+			q, err := p.bind()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				if _, _, err := eng.Execute(q, src); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(10, run); avg > p.budget {
+				t.Fatalf("warmed prepared %s execution allocates %.1f, budget %.0f", p.name, avg, p.budget)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"elastichtap/internal/ch"
+	"elastichtap/internal/ch/golden"
 	"elastichtap/internal/core"
 	"elastichtap/internal/experiments"
 	"elastichtap/internal/olap"
@@ -250,7 +251,7 @@ func BenchmarkQ6Execution(b *testing.B) {
 	}
 	db := ch.Load(sys.OLTPE, ch.SizingForScale(0.02), 1)
 	sys.PrimeReplicas()
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sys.RunQuery(q, core.QueryOptions{
@@ -281,7 +282,7 @@ func benchGoldenSetup(b *testing.B, workers int) (*ch.DB, *olap.Engine, olap.Sou
 // the abstraction cost of the generic filter/aggregate kernels.
 func BenchmarkQ6Handcoded(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
-	q := &ch.Q6{DB: db}
+	q := &golden.Q6{DB: db}
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -328,7 +329,7 @@ func BenchmarkQ1Builder(b *testing.B) {
 // BenchmarkQ1Handcoded is the golden-reference counterpart.
 func BenchmarkQ1Handcoded(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
-	q := &ch.Q1{DB: db}
+	q := &golden.Q1{DB: db}
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -342,7 +343,7 @@ func BenchmarkQ1Handcoded(b *testing.B) {
 // probe kernels (existence-only hash join).
 func BenchmarkQ19Handcoded(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
-	q := &ch.Q19{DB: db}
+	q := &golden.Q19{DB: db}
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -387,7 +388,7 @@ func benchJoinSetup(b *testing.B, workers int) (*ch.DB, *olap.Engine, olap.Sourc
 // payload-projecting composite-key join with ordered top-k merge.
 func BenchmarkQ3Handcoded(b *testing.B) {
 	db, eng, src := benchJoinSetup(b, 8)
-	q := &ch.Q3{DB: db}
+	q := &golden.Q3{DB: db}
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -417,7 +418,7 @@ func BenchmarkQ3Builder(b *testing.B) {
 // group-by/having/top-k merge path (one group per order).
 func BenchmarkQ18Handcoded(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
-	q := &ch.Q18{DB: db}
+	q := &golden.Q18{DB: db}
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -431,6 +432,37 @@ func BenchmarkQ18Handcoded(b *testing.B) {
 func BenchmarkQ18Builder(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
 	q, err := ch.Q18Plan(0, 0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ12Handcoded and BenchmarkQ12Builder compare the
+// payload-join with conditional-count aggregation (CountIf pair over
+// the probed carrier column).
+func BenchmarkQ12Handcoded(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q := &golden.Q12{DB: db}
+	b.SetBytes(src.Rows() * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ12Builder is the builder-compiled counterpart.
+func BenchmarkQ12Builder(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q, err := ch.Q12Plan(0).Bind(db)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -562,7 +594,7 @@ func placementOf(n int) topology.Placement {
 func BenchmarkPoolConcurrentQueries(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
 	defer eng.Close()
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -580,7 +612,7 @@ func BenchmarkPoolConcurrentQueries(b *testing.B) {
 func BenchmarkPoolElasticResize(b *testing.B) {
 	db, eng, src := benchGoldenSetup(b, 8)
 	defer eng.Close()
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

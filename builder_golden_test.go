@@ -6,15 +6,16 @@ import (
 	"time"
 
 	"elastichtap/internal/ch"
+	"elastichtap/internal/ch/golden"
 	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/topology"
 	"elastichtap/query"
 )
 
-// The hand-coded CH executors in internal/ch are the golden references for
-// the declarative builder: these tests assert the builder-compiled plans
-// reproduce their results and scan statistics.
+// The hand-coded CH executors in internal/ch/golden are the golden
+// references for the declarative builder: these tests assert the
+// builder-compiled plans reproduce their results and scan statistics.
 
 // goldenPairs returns (hand-coded, builder plan) pairs covering default
 // and parameterized forms of Q1, Q6, Q19, and the join/ordered/top-k
@@ -30,22 +31,22 @@ func goldenPairs(db *ch.DB) []struct {
 		hand olap.Query
 		plan *query.Plan
 	}{
-		{"Q1-default", &ch.Q1{DB: db}, ch.Q1Plan(0)},
-		{"Q1-filtered", &ch.Q1{DB: db, MinDeliveryD: int64(day + 5)}, ch.Q1Plan(int64(day + 5))},
-		{"Q6-default", &ch.Q6{DB: db}, ch.Q6Plan(0, 0, 0, 0)},
+		{"Q1-default", &golden.Q1{DB: db}, ch.Q1Plan(0)},
+		{"Q1-filtered", &golden.Q1{DB: db, MinDeliveryD: int64(day + 5)}, ch.Q1Plan(int64(day + 5))},
+		{"Q6-default", &golden.Q6{DB: db}, ch.Q6Plan(0, 0, 0, 0)},
 		{"Q6-bracketed",
-			&ch.Q6{DB: db, DateLo: int64(day - 100), DateHi: int64(day + 10), QtyLo: 3, QtyHi: 7},
+			&golden.Q6{DB: db, DateLo: int64(day - 100), DateHi: int64(day + 10), QtyLo: 3, QtyHi: 7},
 			ch.Q6Plan(int64(day-100), int64(day+10), 3, 7)},
-		{"Q19-default", &ch.Q19{DB: db}, ch.Q19Plan(0, 0, 0, 0)},
+		{"Q19-default", &golden.Q19{DB: db}, ch.Q19Plan(0, 0, 0, 0)},
 		{"Q19-bracketed",
-			&ch.Q19{DB: db, QtyLo: 2, QtyHi: 6, PriceLo: 20, PriceHi: 80},
+			&golden.Q19{DB: db, QtyLo: 2, QtyHi: 6, PriceLo: 20, PriceHi: 80},
 			ch.Q19Plan(2, 6, 20, 80)},
-		{"Q3-default", &ch.Q3{DB: db}, ch.Q3Plan(0)},
-		{"Q3-top5", &ch.Q3{DB: db, TopN: 5}, ch.Q3Plan(5)},
-		{"Q12-default", &ch.Q12{DB: db}, ch.Q12Plan(0)},
-		{"Q12-since", &ch.Q12{DB: db, DeliveredSince: int64(day - 50)}, ch.Q12Plan(int64(day - 50))},
-		{"Q18-default", &ch.Q18{DB: db}, ch.Q18Plan(0, 0)},
-		{"Q18-tight", &ch.Q18{DB: db, MinRevenue: 3000, TopN: 7}, ch.Q18Plan(3000, 7)},
+		{"Q3-default", &golden.Q3{DB: db}, ch.Q3Plan(0)},
+		{"Q3-top5", &golden.Q3{DB: db, TopN: 5}, ch.Q3Plan(5)},
+		{"Q12-default", &golden.Q12{DB: db}, ch.Q12Plan(0)},
+		{"Q12-since", &golden.Q12{DB: db, DeliveredSince: int64(day - 50)}, ch.Q12Plan(int64(day - 50))},
+		{"Q18-default", &golden.Q18{DB: db}, ch.Q18Plan(0, 0)},
+		{"Q18-tight", &golden.Q18{DB: db, MinRevenue: 3000, TopN: 7}, ch.Q18Plan(3000, 7)},
 	}
 }
 

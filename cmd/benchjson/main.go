@@ -30,13 +30,17 @@ type Bench struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the JSON document benchjson emits.
+// Report is the JSON document benchjson emits. GapRatios holds the
+// builder-vs-handcoded abstraction cost per query (builder ns/op over
+// handcoded ns/op) for every BenchmarkQ<n>Builder/BenchmarkQ<n>Handcoded
+// pair found in the input.
 type Report struct {
-	Goos       string            `json:"goos,omitempty"`
-	Goarch     string            `json:"goarch,omitempty"`
-	Pkg        string            `json:"pkg,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
-	Benchmarks map[string]*Bench `json:"benchmarks"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]*Bench  `json:"benchmarks"`
+	GapRatios  map[string]float64 `json:"gap_ratios,omitempty"`
 }
 
 // parse reads `go test -bench` output. Benchmark lines look like
@@ -109,10 +113,53 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
+// baseName strips a trailing -<GOMAXPROCS> suffix so Builder/Handcoded
+// twins pair up whether or not the run set -cpu.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// gapRatios pairs each BenchmarkQ<x>Builder with its
+// BenchmarkQ<x>Handcoded twin, records the ns/op ratio both in the
+// report's gap_ratios map and as a builder_vs_handcoded metric on the
+// builder's entry, and returns the map.
+func gapRatios(rep *Report) map[string]float64 {
+	hand := map[string]*Bench{}
+	build := map[string]*Bench{}
+	for name, b := range rep.Benchmarks {
+		n := strings.TrimPrefix(baseName(name), "Benchmark")
+		if q, ok := strings.CutSuffix(n, "Handcoded"); ok {
+			hand[q] = b
+		} else if q, ok := strings.CutSuffix(n, "Builder"); ok {
+			build[q] = b
+		}
+	}
+	ratios := map[string]float64{}
+	for q, hb := range hand {
+		bb := build[q]
+		if bb == nil || hb.NsPerOp <= 0 {
+			continue
+		}
+		r := bb.NsPerOp / hb.NsPerOp
+		ratios[q] = r
+		if bb.Metrics == nil {
+			bb.Metrics = map[string]float64{}
+		}
+		bb.Metrics["builder_vs_handcoded"] = r
+	}
+	return ratios
+}
+
 func main() {
 	var (
-		in  = flag.String("in", "", "bench output file (default stdin)")
-		out = flag.String("out", "", "JSON destination (default stdout)")
+		in     = flag.String("in", "", "bench output file (default stdin)")
+		out    = flag.String("out", "", "JSON destination (default stdout)")
+		maxGap = flag.Float64("maxgap", 0, "fail when any builder-vs-handcoded ns/op ratio exceeds this (0 disables)")
 	)
 	flag.Parse()
 
@@ -135,6 +182,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
 	}
+	rep.GapRatios = gapRatios(rep)
 	var dst io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -142,7 +190,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		dst = f
 	}
 	enc := json.NewEncoder(dst)
@@ -150,5 +197,25 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if c, ok := dst.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The gate runs after the report is written: CI still records the
+	// failing trajectory point it is rejecting.
+	if *maxGap > 0 {
+		bad := false
+		for q, r := range rep.GapRatios {
+			if r > *maxGap {
+				fmt.Fprintf(os.Stderr, "benchjson: %s builder is %.2fx handcoded (gate %.2fx)\n", q, r, *maxGap)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
 	}
 }

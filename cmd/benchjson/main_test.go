@@ -49,3 +49,37 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
 	}
 }
+
+func TestGapRatios(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := gapRatios(rep)
+	want := 1009042.0 / 409628.0
+	if got := ratios["Q6"]; got != want {
+		t.Fatalf("Q6 ratio = %v, want %v", got, want)
+	}
+	if got := rep.Benchmarks["BenchmarkQ6Builder"].Metrics["builder_vs_handcoded"]; got != want {
+		t.Fatalf("builder_vs_handcoded metric = %v, want %v", got, want)
+	}
+	if _, ok := ratios["SyncClaim"]; ok {
+		t.Fatal("unpaired benchmark produced a ratio")
+	}
+}
+
+// TestGapRatiosStripsCPUSuffix: twins pair up when -cpu appends a
+// GOMAXPROCS suffix to the names.
+func TestGapRatiosStripsCPUSuffix(t *testing.T) {
+	const out = `BenchmarkQ1Handcoded-8   10   200 ns/op
+BenchmarkQ1Builder-8     10   220 ns/op
+`
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := gapRatios(rep)
+	if got := ratios["Q1"]; got != 1.1 {
+		t.Fatalf("Q1 ratio = %v, want 1.1", got)
+	}
+}

@@ -164,19 +164,6 @@ func TestMixWorkload(t *testing.T) {
 	}
 }
 
-// referenceQ6 computes Q6 by brute force over the active instance.
-func referenceQ6(db *DB) (revenue float64, count int64) {
-	t := db.OrderLine.Table()
-	for r := int64(0); r < t.Rows(); r++ {
-		q := t.ReadActive(r, OLQuantity)
-		if q >= 1 && q <= 100000 {
-			revenue += columnar.DecodeFloat(t.ReadActive(r, OLAmount))
-			count++
-		}
-	}
-	return revenue, count
-}
-
 func execOnActive(t *testing.T, db *DB, q olap.Query) olap.Result {
 	t.Helper()
 	e := olap.NewEngine(2)
@@ -190,97 +177,6 @@ func execOnActive(t *testing.T, db *DB, q olap.Query) olap.Result {
 		t.Fatal(err)
 	}
 	return res
-}
-
-func TestQ6MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	res := execOnActive(t, db, &Q6{DB: db})
-	wantRev, wantCount := referenceQ6(db)
-	if got := res.Rows[0][1]; got != float64(wantCount) {
-		t.Fatalf("count = %v, want %d", got, wantCount)
-	}
-	rev := res.Rows[0][0]
-	if diff := rev - wantRev; diff > 1e-6*wantRev || diff < -1e-6*wantRev {
-		t.Fatalf("revenue = %v, want %v", rev, wantRev)
-	}
-}
-
-func TestQ1MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	res := execOnActive(t, db, &Q1{DB: db})
-	SortResult(&res)
-
-	// Reference group-by.
-	tab := db.OrderLine.Table()
-	type grp struct {
-		qty, amt float64
-		cnt      int64
-	}
-	ref := map[int64]*grp{}
-	for r := int64(0); r < tab.Rows(); r++ {
-		n := tab.ReadActive(r, OLNumber)
-		g := ref[n]
-		if g == nil {
-			g = &grp{}
-			ref[n] = g
-		}
-		g.qty += float64(tab.ReadActive(r, OLQuantity))
-		g.amt += columnar.DecodeFloat(tab.ReadActive(r, OLAmount))
-		g.cnt++
-	}
-	if len(res.Rows) != len(ref) {
-		t.Fatalf("groups = %d, want %d", len(res.Rows), len(ref))
-	}
-	for _, row := range res.Rows {
-		g := ref[int64(row[0])]
-		if g == nil {
-			t.Fatalf("unexpected group %v", row[0])
-		}
-		if row[5] != float64(g.cnt) {
-			t.Fatalf("group %v count = %v want %d", row[0], row[5], g.cnt)
-		}
-		if d := row[1] - g.qty; d > 1e-6 || d < -1e-6 {
-			t.Fatalf("group %v sum_qty = %v want %v", row[0], row[1], g.qty)
-		}
-	}
-}
-
-func TestQ19MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	q := &Q19{DB: db}
-	res := execOnActive(t, db, q)
-
-	// Reference join.
-	it := db.Item.Table()
-	prices := map[int64]float64{}
-	for r := int64(0); r < it.Rows(); r++ {
-		p := columnar.DecodeFloat(it.ReadActive(r, IPrice))
-		if p >= 1 && p <= 100 {
-			prices[it.ReadActive(r, IID)] = p
-		}
-	}
-	olt := db.OrderLine.Table()
-	var wantRev float64
-	var wantMatches int64
-	for r := int64(0); r < olt.Rows(); r++ {
-		qty := olt.ReadActive(r, OLQuantity)
-		if qty < 1 || qty > 10 {
-			continue
-		}
-		if _, ok := prices[olt.ReadActive(r, OLIID)]; ok {
-			wantRev += columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
-			wantMatches++
-		}
-	}
-	if wantMatches == 0 {
-		t.Fatal("reference found no matches; test data too small")
-	}
-	if got := res.Rows[0][1]; got != float64(wantMatches) {
-		t.Fatalf("matches = %v, want %d", got, wantMatches)
-	}
-	if d := res.Rows[0][0] - wantRev; d > 1e-6*wantRev || d < -1e-6*wantRev {
-		t.Fatalf("revenue = %v, want %v", res.Rows[0][0], wantRev)
-	}
 }
 
 func TestSizingForScale(t *testing.T) {

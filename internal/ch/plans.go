@@ -7,8 +7,9 @@ import (
 )
 
 // This file re-expresses the paper's evaluation queries as logical plans
-// for the declarative builder. The hand-coded executors in queries.go are
-// kept as golden references: builder_golden_test.go (package elastichtap)
+// for the declarative builder; these compiled forms are what production
+// runs. The hand-coded executors are kept as test-only golden references
+// in internal/ch/golden: builder_golden_test.go (package elastichtap)
 // asserts the compiled plans reproduce their results and statistics
 // exactly.
 //

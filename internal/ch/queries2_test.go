@@ -1,66 +1,10 @@
 package ch
 
 import (
-	"math/rand"
 	"testing"
 
 	"elastichtap/internal/columnar"
 )
-
-func TestQ3MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	// Create undelivered orders.
-	mgr := db.Engine.Manager()
-	rng := rand.New(rand.NewSource(31))
-	for i := 0; i < 10; i++ {
-		if _, err := mgr.RunWithRetry(10, db.NewOrder(rng, 1+int64(i%2))); err != nil {
-			t.Fatal(err)
-		}
-	}
-	res := execOnActive(t, db, &Q3{DB: db, TopN: 5})
-
-	// Reference: revenue per undelivered order.
-	ot := db.Orders.Table()
-	undelivered := map[uint64]bool{}
-	for r := int64(0); r < ot.Rows(); r++ {
-		if ot.ReadActive(r, OCarrierID) == 0 {
-			k := OrderKey(ot.ReadActive(r, OWID), ot.ReadActive(r, ODID), ot.ReadActive(r, OID))
-			undelivered[k] = true
-		}
-	}
-	olt := db.OrderLine.Table()
-	rev := map[uint64]float64{}
-	for r := int64(0); r < olt.Rows(); r++ {
-		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
-		if undelivered[k] {
-			rev[k] += columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
-		}
-	}
-	if len(res.Rows) == 0 {
-		t.Fatal("Q3 returned no rows despite undelivered orders")
-	}
-	if len(res.Rows) > 5 {
-		t.Fatalf("TopN violated: %d rows", len(res.Rows))
-	}
-	// Rows carry (w, d, o, entry_d, revenue), sorted by revenue descending,
-	// and must match the reference.
-	prev := res.Rows[0][4]
-	for _, row := range res.Rows {
-		k := OrderKey(int64(row[0]), int64(row[1]), int64(row[2]))
-		got := row[4]
-		want := rev[k]
-		if d := got - want; d > 1e-6 || d < -1e-6 {
-			t.Fatalf("order %d revenue = %v, want %v", k, got, want)
-		}
-		if !undelivered[k] {
-			t.Fatalf("order %d is delivered but surfaced", k)
-		}
-		if got > prev {
-			t.Fatal("rows not sorted by revenue")
-		}
-		prev = got
-	}
-}
 
 func TestQ4MatchesReference(t *testing.T) {
 	db := loadTiny(t)
@@ -95,47 +39,6 @@ func TestQ4MatchesReference(t *testing.T) {
 	}
 }
 
-func TestQ12MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	res := execOnActive(t, db, &Q12{DB: db})
-
-	ot, olt := db.Orders.Table(), db.OrderLine.Table()
-	carrier := map[uint64]int64{}
-	cnt := map[uint64]int64{}
-	for r := int64(0); r < ot.Rows(); r++ {
-		k := OrderKey(ot.ReadActive(r, OWID), ot.ReadActive(r, ODID), ot.ReadActive(r, OID))
-		carrier[k] = ot.ReadActive(r, OCarrierID)
-		cnt[k] = ot.ReadActive(r, OOlCnt)
-	}
-	high, low := map[int64]int64{}, map[int64]int64{}
-	for r := int64(0); r < olt.Rows(); r++ {
-		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
-		car, ok := carrier[k]
-		if !ok {
-			continue
-		}
-		if car == 1 || car == 2 {
-			high[cnt[k]]++
-		} else {
-			low[cnt[k]]++
-		}
-	}
-	var wantHigh, wantLow, gotHigh, gotLow int64
-	for _, v := range high {
-		wantHigh += v
-	}
-	for _, v := range low {
-		wantLow += v
-	}
-	for _, row := range res.Rows {
-		gotHigh += int64(row[1])
-		gotLow += int64(row[2])
-	}
-	if gotHigh != wantHigh || gotLow != wantLow {
-		t.Fatalf("high/low = %d/%d, want %d/%d", gotHigh, gotLow, wantHigh, wantLow)
-	}
-}
-
 func TestQ14MatchesReference(t *testing.T) {
 	db := loadTiny(t)
 	res := execOnActive(t, db, &Q14{DB: db})
@@ -167,52 +70,6 @@ func TestQ14MatchesReference(t *testing.T) {
 	wantShare := 100 * wantPromo / wantTotal
 	if d := res.Rows[0][0] - wantShare; d > 1e-9 || d < -1e-9 {
 		t.Fatalf("share = %v, want %v", res.Rows[0][0], wantShare)
-	}
-}
-
-func TestQ18MatchesReference(t *testing.T) {
-	db := loadTiny(t)
-	const minRev, topN = 500.0, 7
-	res := execOnActive(t, db, &Q18{DB: db, MinRevenue: minRev, TopN: topN})
-
-	// Reference: revenue and line count per order, thresholded.
-	olt := db.OrderLine.Table()
-	rev := map[uint64]float64{}
-	lines := map[uint64]int64{}
-	for r := int64(0); r < olt.Rows(); r++ {
-		k := OrderKey(olt.ReadActive(r, OLWID), olt.ReadActive(r, OLDID), olt.ReadActive(r, OLOID))
-		rev[k] += columnar.DecodeFloat(olt.ReadActive(r, OLAmount))
-		lines[k]++
-	}
-	qualifying := 0
-	for _, v := range rev {
-		if v > minRev {
-			qualifying++
-		}
-	}
-	wantRows := qualifying
-	if wantRows > topN {
-		wantRows = topN
-	}
-	if len(res.Rows) != wantRows {
-		t.Fatalf("rows = %d, want %d (qualifying %d)", len(res.Rows), wantRows, qualifying)
-	}
-	prev := res.Rows[0][3]
-	for _, row := range res.Rows {
-		k := OrderKey(int64(row[0]), int64(row[1]), int64(row[2]))
-		if d := row[3] - rev[k]; d > 1e-6 || d < -1e-6 {
-			t.Fatalf("order %d revenue = %v, want %v", k, row[3], rev[k])
-		}
-		if int64(row[4]) != lines[k] {
-			t.Fatalf("order %d lines = %v, want %d", k, row[4], lines[k])
-		}
-		if row[3] <= minRev {
-			t.Fatalf("order %d revenue %v below HAVING threshold", k, row[3])
-		}
-		if row[3] > prev {
-			t.Fatal("rows not sorted by revenue")
-		}
-		prev = row[3]
 	}
 }
 

@@ -147,7 +147,7 @@ func TestPrimeReplicasSetsFreshnessRateOne(t *testing.T) {
 func TestRunQueryAdaptive(t *testing.T) {
 	sys, db := newTestSystem(t)
 	sys.PrimeReplicas()
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 
 	// The tiny test database saturates its update working set instantly,
 	// which drives Nfq/Nft high; raise α so the small delta still reads as
@@ -207,7 +207,7 @@ func TestRunQueryAdaptive(t *testing.T) {
 func TestRunQueryForcedStates(t *testing.T) {
 	sys, db := newTestSystem(t)
 	sys.InjectTransactions(10)
-	q := &ch.Q1{DB: db}
+	q := db.Stamped("Q1", ch.Q1Args(0))
 
 	var counts []float64
 	for _, st := range []State{S1, S2, S3IS, S3NI} {
@@ -234,7 +234,7 @@ func TestRunQueryForcedStates(t *testing.T) {
 func TestRunQueryForcedMethodFullRemote(t *testing.T) {
 	sys, db := newTestSystem(t)
 	sys.InjectTransactions(5)
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	rep, _, err := sys.RunQuery(q, QueryOptions{
 		ForceState:  ForcedState(S3IS),
 		ForceMethod: ForcedMethod(rde.ReadSnapshot),
@@ -256,7 +256,7 @@ func TestRunQueryForcedMethodFullRemote(t *testing.T) {
 
 func TestOLTPInterferenceReported(t *testing.T) {
 	sys, db := newTestSystem(t)
-	rep, _, err := sys.RunQuery(&ch.Q6{DB: db}, QueryOptions{ForceState: ForcedState(S1)}, nil)
+	rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{ForceState: ForcedState(S1)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestOLTPInterferenceReported(t *testing.T) {
 
 func TestBatchSkipSwitchReusesSnapshot(t *testing.T) {
 	sys, db := newTestSystem(t)
-	q := &ch.Q6{DB: db}
+	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	rep1, set, err := sys.RunQuery(q, QueryOptions{Batch: true}, nil)
 	if err != nil {
 		t.Fatal(err)

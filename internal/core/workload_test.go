@@ -17,7 +17,7 @@ import (
 func TestDefaultTenantImplicit(t *testing.T) {
 	sys, db := newTestSystem(t)
 	defer sys.Close()
-	rep, _, err := sys.RunQuery(&ch.Q6{DB: db}, QueryOptions{}, nil)
+	rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestZeroQuotaTenantOverloaded(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := workload.WithTenant(context.Background(), "blocked")
-	_, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil)
+	_, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 	if !errors.Is(err, workload.ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -56,7 +56,7 @@ func TestZeroQuotaTenantOverloaded(t *testing.T) {
 		t.Fatalf("overload metadata = %+v (err %v)", oe, err)
 	}
 	// The default tenant is unaffected.
-	if _, _, err := sys.RunQuery(&ch.Q6{DB: db}, QueryOptions{}, nil); err != nil {
+	if _, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,7 +67,7 @@ func TestUnknownTenantRejectedBeforeAdmission(t *testing.T) {
 	sys, db := newTestSystem(t)
 	defer sys.Close()
 	ctx := workload.WithTenant(context.Background(), "ghost")
-	_, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil)
+	_, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 	if !errors.Is(err, workload.ErrUnknownTenant) {
 		t.Fatalf("err = %v, want ErrUnknownTenant", err)
 	}
@@ -92,10 +92,10 @@ func TestTenantBytesBudgetWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := workload.WithTenant(context.Background(), "metered")
-	if _, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil); err != nil {
+	if _, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 		t.Fatalf("first query within budget: %v", err)
 	}
-	_, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil)
+	_, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 	var oe *workload.OverloadError
 	if !errors.As(err, &oe) || oe.Reason != workload.BytesExhausted {
 		t.Fatalf("err = %v, want BytesExhausted overload", err)
@@ -104,7 +104,7 @@ func TestTenantBytesBudgetWindow(t *testing.T) {
 		t.Fatalf("RetryAfter = %v, want within (0, 1s]", oe.RetryAfter)
 	}
 	advance(oe.RetryAfter)
-	if _, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil); err != nil {
+	if _, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 		t.Fatalf("post-refill query: %v", err)
 	}
 }
@@ -127,7 +127,7 @@ func TestQueuedQueryCancellationFreesSlot(t *testing.T) {
 	ctx, cancel := context.WithCancel(workload.WithTenant(context.Background(), "narrow"))
 	errc := make(chan error, 1)
 	go func() {
-		_, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil)
+		_, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 		errc <- err
 	}()
 	waitFor(t, func() bool { ts, _ := sys.WM.Tenant("narrow"); return ts.Queued == 1 })
@@ -142,7 +142,7 @@ func TestQueuedQueryCancellationFreesSlot(t *testing.T) {
 	grant.Release(0)
 	// The tenant is fully usable afterwards.
 	if _, _, err := sys.RunQueryContext(workload.WithTenant(context.Background(), "narrow"),
-		&ch.Q6{DB: db}, QueryOptions{}, nil); err != nil {
+		db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -172,7 +172,7 @@ func TestConcurrentTenantsAllProgress(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				ctx := workload.WithTenant(context.Background(), name)
-				rep, _, err := sys.RunQueryContext(ctx, &ch.Q6{DB: db}, QueryOptions{}, nil)
+				rep, _, err := sys.RunQueryContext(ctx, db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 				if err != nil {
 					t.Errorf("tenant %s: %v", name, err)
 					return

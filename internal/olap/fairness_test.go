@@ -87,6 +87,7 @@ func TestDRRIdleTenantYieldsPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var sc Scratch
 	e.mu.Lock()
 	var served int
 	for {
@@ -97,7 +98,7 @@ func TestDRRIdleTenantYieldsPool(t *testing.T) {
 		served++
 		task.noteClaim(0, mi, true)
 		e.mu.Unlock()
-		task.runMorsel(mi)
+		task.runMorsel(mi, &sc)
 		e.mu.Lock()
 		task.finishMorsel(e)
 	}

@@ -9,6 +9,13 @@ type worker struct {
 	socket int
 	id     int
 	stop   bool // retire request; guarded by e.mu
+
+	// scratch is this worker's private reusable buffer space, touched
+	// only from the worker goroutine itself (outside e.mu, between grab
+	// and finish). It lives as long as the worker, so kernels reach
+	// steady state after one morsel per worker and allocate nothing
+	// after that.
+	scratch Scratch
 }
 
 // run is the worker loop: grab a morsel (own socket first, then steal),
@@ -39,7 +46,7 @@ func (w *worker) run() {
 		}
 		t.noteClaim(w.id, mi, local)
 		e.mu.Unlock()
-		t.runMorsel(mi)
+		t.runMorsel(mi, &w.scratch)
 		e.mu.Lock()
 		t.finishMorsel(e)
 	}

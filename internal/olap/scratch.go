@@ -1,0 +1,41 @@
+package olap
+
+// Scratch is per-worker reusable buffer space. Each long-lived pool
+// worker owns exactly one Scratch for its whole lifetime, and every
+// inline drainer owns one for the duration of its drain, so the buffers
+// are only ever touched by a single goroutine at a time and steady-state
+// execution allocates nothing per morsel: the engine's column-slice
+// header array and any kernel-owned scratch (selection vectors,
+// accumulator rows, payload buffers) are taken from here instead of a
+// shared sync.Pool that bounces between cores.
+type Scratch struct {
+	cols [][]int64
+
+	// Kernel is an opaque slot for executor-owned scratch. A kernel that
+	// implements ScratchConsumer stores whatever buffer struct it needs
+	// here on first use and finds it again on every later morsel the
+	// same worker runs — across morsels, queries, and plans. Ownership
+	// follows the Scratch: single-goroutine, no locking.
+	Kernel any
+}
+
+// colSlices returns a reusable [][]int64 of length n for the block's
+// column-slice headers. The returned slice is valid until the next call
+// on the same Scratch.
+func (s *Scratch) colSlices(n int) [][]int64 {
+	if cap(s.cols) < n {
+		s.cols = make([][]int64, n)
+	}
+	s.cols = s.cols[:n]
+	return s.cols
+}
+
+// ScratchConsumer is implemented by Locals that want per-worker scratch.
+// The engine calls ConsumeScratch instead of Consume, passing the
+// claiming worker's (or inline drainer's) Scratch. Implementations must
+// not retain the Scratch or the Block's column slices beyond the call,
+// except via sc.Kernel which they own.
+type ScratchConsumer interface {
+	Local
+	ConsumeScratch(b Block, sc *Scratch)
+}

@@ -104,13 +104,20 @@ func (m morsel) bytes(ncols int) int64 {
 
 // runMorsel consumes one morsel into its dedicated Local. Called without
 // e.mu; the morsel index was claimed exclusively, so no other goroutine
-// touches locals[mi].
-func (t *Task) runMorsel(mi int) {
+// touches locals[mi]. sc is the claiming worker's (or inline drainer's)
+// scratch: the block's column-slice headers come from it, and Locals
+// that implement ScratchConsumer get it for kernel-owned buffers, so a
+// warmed worker runs a morsel with zero allocations.
+func (t *Task) runMorsel(mi int, sc *Scratch) {
 	m := t.morsels[mi]
 	p := t.src.Parts[m.part]
-	blk := Block{Base: m.lo, N: int(m.hi - m.lo), Cols: make([][]int64, len(t.cols))}
+	blk := Block{Base: m.lo, N: int(m.hi - m.lo), Cols: sc.colSlices(len(t.cols))}
 	for k, c := range t.cols {
 		blk.Cols[k] = p.Data.Col(c).Slice(m.lo, m.hi)
+	}
+	if lc, ok := t.locals[mi].(ScratchConsumer); ok {
+		lc.ConsumeScratch(blk, sc)
+		return
 	}
 	t.locals[mi].Consume(blk)
 }
@@ -167,6 +174,7 @@ func (t *Task) Cancel(cause error) {
 // caller's wait then cancels the task).
 func (t *Task) drain(ctx context.Context) {
 	e := t.e
+	var sc Scratch // one scratch per draining goroutine
 	e.mu.Lock()
 	t.inline++
 	id := -t.inline // one pseudo-worker id per draining goroutine
@@ -177,7 +185,7 @@ func (t *Task) drain(ctx context.Context) {
 		}
 		t.noteClaim(id, mi, true)
 		e.mu.Unlock()
-		t.runMorsel(mi)
+		t.runMorsel(mi, &sc)
 		e.mu.Lock()
 		t.finishMorsel(e)
 	}

@@ -162,6 +162,11 @@ type Compiled struct {
 	// (and feed) the same cache as the statement it was stamped from. Nil
 	// for parameterless plans.
 	cache *stmtCache
+	// fuse is the Bind-time fusion decision (see kernel.go). It is shared
+	// by every WithArgs clone: the shape is value-independent, and each
+	// Prepare specializes a concrete kernel from the clone's stamped
+	// predicate values.
+	fuse *fuseShape
 }
 
 // havingFilter is a compiled post-aggregation predicate over one output
@@ -183,13 +188,19 @@ func (c *Compiled) FactTable() string { return c.fact }
 // Columns implements olap.Query.
 func (c *Compiled) Columns() []int { return c.cols }
 
-// Prepare implements olap.Query: it builds the join's key→payload table
-// from the dimension's active instance (dimensions are static under the
-// transactional workload) and reports its broadcast volume. Single-column
-// keys hash raw int64 words; composite keys hash a fixed-width array.
-// Payload rows share one slab so a large build side costs one allocation
-// per growth, not one per key.
+// Prepare implements olap.Query. Plans whose shape the fused compiler
+// covers (see kernel.go) specialize into a single-pass kernel from the
+// statement's current predicate values; the rest run the staged path
+// below, which builds the join's key→payload table from the dimension's
+// active instance (dimensions are static under the transactional
+// workload) and reports its broadcast volume. Single-column keys hash
+// raw int64 words; composite keys hash a fixed-width array. Payload
+// rows share one slab so a large build side costs one allocation per
+// growth, not one per key.
 func (c *Compiled) Prepare() (olap.Exec, int64) {
+	if c.fuse != nil && c.fuse.ok && !disableFusion.Load() {
+		return c.prepareFused()
+	}
 	e := &exec{c: c}
 	var buildBytes int64
 	if j := c.join; j != nil {
@@ -198,11 +209,11 @@ func (c *Compiled) Prepare() (olap.Exec, int64) {
 		npay := len(j.payCols)
 		single := len(j.keyCols) == 1
 		if single {
-			e.build1 = make(map[int64][]int64, rows)
+			e.build1 = make(map[int64][]int64)
 		} else {
-			e.buildK = make(map[jkey][]int64, rows)
+			e.buildK = make(map[jkey][]int64)
 		}
-		slab := make([]int64, 0, int(rows)*npay)
+		var slab []int64
 	dim:
 		for r := int64(0); r < rows; r++ {
 			for i := range j.preds {
@@ -492,6 +503,10 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 	}
 	if len(c.params) > 0 {
 		c.cache = &stmtCache{}
+	}
+	c.fuse = buildFuseShape(c)
+	if !c.fuse.ok {
+		logFallback(c.name, c.fuse.reason)
 	}
 	return c, nil
 }
@@ -834,16 +849,35 @@ func (l *local) ensureDense(k int64, nagg int) {
 	l.flat, l.present = flat, present
 }
 
-// Consume implements olap.Local. Execution is columnar: each filter runs
-// as a tight range loop producing/compacting a selection vector, the hash
-// join probes the surviving rows (materializing payload vectors for full
-// joins), and each aggregate then updates in its own pass — so per-row
-// work never dispatches through interfaces or closures (the pushdown the
-// builder promises).
+// Consume implements olap.Local with exec-pooled scratch — the path for
+// callers that drive Locals directly, without an engine worker.
 func (l *local) Consume(b olap.Block) {
-	c := l.e.c
 	sc := l.e.getScratch()
-	defer l.e.scratch.Put(sc)
+	l.consume(b, sc)
+	l.e.scratch.Put(sc)
+}
+
+// ConsumeScratch implements olap.ScratchConsumer: scratch comes from the
+// claiming pool worker (or inline drainer), which owns it for its whole
+// lifetime — so concurrent morsels never bounce scratch between cores
+// and a warmed worker allocates nothing here.
+func (l *local) ConsumeScratch(b olap.Block, ws *olap.Scratch) {
+	sc, ok := ws.Kernel.(*scratchBufs)
+	if !ok {
+		sc = &scratchBufs{}
+		ws.Kernel = sc
+	}
+	l.consume(b, sc)
+}
+
+// consume is the staged pipeline: each filter runs as a tight range loop
+// producing/compacting a selection vector, the hash join probes the
+// surviving rows (materializing payload vectors for full joins), and
+// each aggregate then updates in its own pass — so per-row work never
+// dispatches through interfaces or closures (the pushdown the builder
+// promises).
+func (l *local) consume(b olap.Block, sc *scratchBufs) {
+	c := l.e.c
 	sel := sc.sel[:0]
 	if len(c.filters) == 0 {
 		for i := 0; i < b.N; i++ {
@@ -1252,7 +1286,7 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 			mergeAccs(total, li.(*local).global, c.aggs)
 		}
 		res.Rows = [][]float64{emitRow(c, gkey{}, total)}
-		return e.finish(res)
+		return finishRes(c, res)
 	}
 	total := make(map[gkey][]acc)
 	var keys []gkey
@@ -1290,13 +1324,12 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 	for _, k := range keys {
 		res.Rows = append(res.Rows, emitRow(c, k, total[k]))
 	}
-	return e.finish(res)
+	return finishRes(c, res)
 }
 
-// finish applies the post-aggregation stages: Having over emitted rows,
-// then the ordered (top-k) merge.
-func (e *exec) finish(res olap.Result) olap.Result {
-	c := e.c
+// finishRes applies the post-aggregation stages shared by the staged and
+// fused paths: Having over emitted rows, then the ordered (top-k) merge.
+func finishRes(c *Compiled, res olap.Result) olap.Result {
 	if len(c.having) > 0 {
 		kept := res.Rows[:0]
 	rows:

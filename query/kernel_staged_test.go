@@ -1,0 +1,72 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFusedMatchesStagedExactly pins the staged fallback's contract: for
+// every kernel shape — each specialized loop, the generic fused loops,
+// and the post-aggregation stages (avg, having, ordered top-k) — forcing
+// the staged path must reproduce the fused result bitwise (DeepEqual on
+// float64 rows is bitwise equality). The staged path only runs in
+// production for shapes the fuser rejects, so without this test a drift
+// in its arithmetic order would go unnoticed until such a shape appears.
+func TestFusedMatchesStagedExactly(t *testing.T) {
+	cat, e := newBenchCatalog(t)
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"filter-count-int64", Scan("bfact").
+			Filter(Between("qty", 10, 40), Ge("gid", 8)).
+			Agg(Count())},
+		{"filter-count-float64", Scan("bfact").
+			Filter(Between("amount", 20.0, 100.0)).
+			Agg(Count())},
+		{"filter-count-dict", Scan("bfact").
+			Filter(Eq("tag", "web")).
+			Agg(Count())},
+		{"filter-probe-sum", Scan("bfact").
+			Filter(Between("qty", 5, 45)).
+			SemiJoin("bdim1", "k1", "id", Between("w", 1, 60)).
+			Agg(Sum("amount").As("rev"))},
+		{"filter-probe-group-sum", Scan("bfact").
+			Filter(Between("qty", 5, 45)).
+			Join("bdimc", "jk", "jk", "pay").
+			On("k2", "k2").
+			GroupBy("pay").
+			Agg(Sum("amount").As("rev"))},
+		{"probe-group-sum-spill", Scan("bfact").
+			Join("bdimc", "jk", "jk", "pay").
+			On("k2", "k2").
+			GroupBy("jk", "pay").
+			Agg(Sum("amount").As("rev"))},
+		{"dense-group-sum-int-float", Scan("bfact").
+			Filter(Between("qty", 5, 45)).
+			GroupBy("gid").
+			Agg(Sum("qty").As("sq"), Sum("amount").As("sa"))},
+		{"avg-having-topk", Scan("bfact").
+			Filter(Ge("qty", 3)).
+			GroupBy("gid").
+			Agg(Sum("amount").As("rev"), Avg("amount").As("avg_amt"), Count().As("n")).
+			Having(Gt("rev", 100)).
+			OrderBy("rev", true).
+			Limit(20)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := tc.plan.Bind(cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fused := run(t, e, q)
+			disableFusion.Store(true)
+			defer disableFusion.Store(false)
+			staged := run(t, e, q)
+			if !reflect.DeepEqual(fused, staged) {
+				t.Fatalf("staged result diverges from fused:\nfused:  %+v\nstaged: %+v", fused, staged)
+			}
+		})
+	}
+}
