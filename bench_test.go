@@ -19,6 +19,7 @@ import (
 	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/topology"
+	"elastichtap/query"
 )
 
 func benchOpt() experiments.Options {
@@ -473,6 +474,178 @@ func BenchmarkQ12Builder(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchFactSource builds a one-part source over any fact table of the
+// bench database — the graph queries Q2/Q5/Q7 scan stock or orderline.
+func benchFactSource(db *ch.DB, table string) olap.Source {
+	tab := db.Handle(table).Table()
+	return olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "bench",
+	}}}
+}
+
+// BenchmarkQ2Handcoded and BenchmarkQ2Builder compare the graph-join
+// chain over the stock fact (supplier → nation → region, min/avg
+// aggregates) against its hand-coded twin.
+func BenchmarkQ2Handcoded(b *testing.B) {
+	db, eng, _ := benchGoldenSetup(b, 8)
+	src := benchFactSource(db, ch.TStock)
+	q := &golden.Q2{DB: db}
+	b.SetBytes(src.Rows() * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ2Builder is the builder-compiled counterpart.
+func BenchmarkQ2Builder(b *testing.B) {
+	db, eng, _ := benchGoldenSetup(b, 8)
+	src := benchFactSource(db, ch.TStock)
+	q, err := ch.Q2Plan(0, 0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ5Handcoded and BenchmarkQ5Builder compare the five-relation
+// graph join (stock chain plus item semi-join) against its hand-coded
+// twin.
+func BenchmarkQ5Handcoded(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q := &golden.Q5{DB: db}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ5Builder is the builder-compiled counterpart.
+func BenchmarkQ5Builder(b *testing.B) {
+	db, eng, src := benchGoldenSetup(b, 8)
+	q, err := ch.Q5Plan(0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 3 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ7Handcoded and BenchmarkQ7Builder compare the widest graph
+// join — orders, customer (keyed partly by a projected payload), stock
+// and supplier — against its hand-coded twin.
+func BenchmarkQ7Handcoded(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q := &golden.Q7{DB: db}
+	b.SetBytes(src.Rows() * 7 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ7Builder is the builder-compiled counterpart.
+func BenchmarkQ7Builder(b *testing.B) {
+	db, eng, src := benchJoinSetup(b, 8)
+	q, err := ch.Q7Plan(0).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(src.Rows() * 7 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOrdered runs one graph plan bound under a fixed join-ordering
+// mode; the Greedy/Written benchmark pairs built on it measure what the
+// zero-statistics greedy order is worth against the written edge order.
+func benchOrdered(b *testing.B, plan *query.Plan, words int64) {
+	db, eng, _ := benchGoldenSetup(b, 8)
+	q, err := plan.Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := benchFactSource(db, q.FactTable())
+	b.SetBytes(src.Rows() * words * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQ2OrderGreedy(b *testing.B) { benchOrdered(b, ch.Q2Plan(0, 0), 2) }
+func BenchmarkQ2OrderWritten(b *testing.B) {
+	benchOrdered(b, ch.Q2Plan(0, 0).OrderJoins(query.OrderWritten), 2)
+}
+func BenchmarkQ5OrderGreedy(b *testing.B) { benchOrdered(b, ch.Q5Plan(0), 3) }
+func BenchmarkQ5OrderWritten(b *testing.B) {
+	benchOrdered(b, ch.Q5Plan(0).OrderJoins(query.OrderWritten), 3)
+}
+func BenchmarkQ7OrderGreedy(b *testing.B) { benchOrdered(b, ch.Q7Plan(0), 7) }
+func BenchmarkQ7OrderWritten(b *testing.B) {
+	benchOrdered(b, ch.Q7Plan(0).OrderJoins(query.OrderWritten), 7)
+}
+
+// BenchmarkPlannerGraphBind measures full compilation throughput for a
+// six-relation join graph — resolution, greedy ordering, scan layout and
+// kernel fusion — reported as plans per second.
+func BenchmarkPlannerGraphBind(b *testing.B) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.TinySizing(), 1)
+	build := func() *query.Plan {
+		fact := query.Rel(ch.TOrderLine)
+		stock := query.Rel(ch.TStock)
+		supp := query.Rel(ch.TSupplier)
+		nat := query.Rel(ch.TNation)
+		reg := query.Rel(ch.TRegion).Filter(query.Eq("r_name", "EUROPE"))
+		item := query.Rel(ch.TItem).Filter(query.Ge("i_price", 50.0))
+		ords := query.Rel(ch.TOrders)
+		return query.Scan(ch.TOrderLine).
+			Named("bind6").
+			JoinGraph(
+				query.JoinOn(fact, stock, "ol_supply_w_id", "s_w_id", "ol_i_id", "s_i_id"),
+				query.JoinOn(stock, supp, "s_su_suppkey", "su_suppkey"),
+				query.JoinOn(supp, nat, "su_nationkey", "n_nationkey"),
+				query.JoinOn(nat, reg, "n_regionkey", "r_regionkey"),
+				query.JoinOn(fact, item, "ol_i_id", "i_id"),
+				query.JoinOn(fact, ords, "ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id"),
+			).
+			GroupBy("su_nationkey").
+			Agg(query.Sum("ol_amount").As("revenue"), query.Count())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build().Bind(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
 }
 
 // BenchmarkRebind and BenchmarkStmtReuse isolate what prepared

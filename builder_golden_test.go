@@ -18,8 +18,9 @@ import (
 // builder-compiled plans reproduce their results and scan statistics.
 
 // goldenPairs returns (hand-coded, builder plan) pairs covering default
-// and parameterized forms of Q1, Q6, Q19, and the join/ordered/top-k
-// shapes Q3, Q12 and Q18.
+// and parameterized forms of Q1, Q6, Q19, the join/ordered/top-k shapes
+// Q3, Q12 and Q18, and the graph-join shapes Q2, Q5 and Q7 planned by
+// greedy join ordering.
 func goldenPairs(db *ch.DB) []struct {
 	name string
 	hand olap.Query
@@ -47,7 +48,22 @@ func goldenPairs(db *ch.DB) []struct {
 		{"Q12-since", &golden.Q12{DB: db, DeliveredSince: int64(day - 50)}, ch.Q12Plan(int64(day - 50))},
 		{"Q18-default", &golden.Q18{DB: db}, ch.Q18Plan(0, 0)},
 		{"Q18-tight", &golden.Q18{DB: db, MinRevenue: 3000, TopN: 7}, ch.Q18Plan(3000, 7)},
+		{"Q2-default", &golden.Q2{DB: db}, ch.Q2Plan(0, 0)},
+		{"Q2-bracketed", &golden.Q2{DB: db, QtyLo: 20, QtyHi: 80}, ch.Q2Plan(20, 80)},
+		{"Q5-default", &golden.Q5{DB: db}, ch.Q5Plan(0)},
+		{"Q5-pricey", &golden.Q5{DB: db, MinPrice: 80}, ch.Q5Plan(80)},
+		{"Q7-default", &golden.Q7{DB: db}, ch.Q7Plan(0)},
+		{"Q7-since", &golden.Q7{DB: db, Since: int64(day - 50)}, ch.Q7Plan(int64(day - 50))},
 	}
+}
+
+// factSource builds a one-part source over a query's fact table — most
+// pairs scan orderline, but Q2's fact is stock.
+func factSource(db *ch.DB, table string) olap.Source {
+	tab := db.Handle(table).Table()
+	return olap.Source{Table: tab, Parts: []olap.Part{{
+		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
+	}}}
 }
 
 // runNewOrders executes NewOrder transactions directly on the OLTP engine
@@ -91,14 +107,11 @@ func TestBuilderGoldenSingleWorker(t *testing.T) {
 	e := oltp.NewEngine()
 	db := ch.Load(e, ch.SizingForScale(0.003), 11)
 	runNewOrders(t, e, db, 60)
-	tab := db.OrderLine.Table()
-	src := olap.Source{Table: tab, Parts: []olap.Part{{
-		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
-	}}}
 	eng := olap.NewEngine(1)
 	eng.SetPlacement(topology.Placement{PerSocket: []int{1}})
 
 	for _, p := range goldenPairs(db) {
+		src := factSource(db, p.hand.FactTable())
 		built, err := p.plan.Bind(db)
 		if err != nil {
 			t.Fatalf("%s: bind: %v", p.name, err)
@@ -119,6 +132,66 @@ func TestBuilderGoldenSingleWorker(t *testing.T) {
 		}
 		if !reflect.DeepEqual(gotSt, wantSt) {
 			t.Errorf("%s: stats %+v != %+v", p.name, gotSt, wantSt)
+		}
+	}
+}
+
+// TestGreedyOrderMatchesWrittenOrder pins the planner's core invariant:
+// the written edge order carries no semantic weight. Each graph query is
+// bound twice — greedy ordering (the default) and the written order —
+// and both compiled forms must expose the same scan columns, produce
+// byte-identical rows, and charge the same build bytes, on one worker
+// and under multi-worker stealing alike.
+func TestGreedyOrderMatchesWrittenOrder(t *testing.T) {
+	e := oltp.NewEngine()
+	db := ch.Load(e, ch.SizingForScale(0.005), 11)
+	runNewOrders(t, e, db, 80)
+
+	one := olap.NewEngine(1)
+	defer one.Close()
+	one.SetPlacement(topology.Placement{PerSocket: []int{1}})
+	many := olap.NewEngine(2)
+	defer many.Close()
+	many.SetPlacement(topology.Placement{PerSocket: []int{0, 6}})
+
+	for _, p := range []struct {
+		name            string
+		greedy, written *query.Plan
+	}{
+		{"Q2", ch.Q2Plan(0, 0), ch.Q2Plan(0, 0).OrderJoins(query.OrderWritten)},
+		{"Q5", ch.Q5Plan(0), ch.Q5Plan(0).OrderJoins(query.OrderWritten)},
+		{"Q7", ch.Q7Plan(0), ch.Q7Plan(0).OrderJoins(query.OrderWritten)},
+	} {
+		g, err := p.greedy.Bind(db)
+		if err != nil {
+			t.Fatalf("%s: bind greedy: %v", p.name, err)
+		}
+		w, err := p.written.Bind(db)
+		if err != nil {
+			t.Fatalf("%s: bind written: %v", p.name, err)
+		}
+		if !reflect.DeepEqual(g.Columns(), w.Columns()) {
+			t.Fatalf("%s: scan columns differ: greedy %v, written %v", p.name, g.Columns(), w.Columns())
+		}
+		src := factSource(db, g.FactTable())
+		want, wantSt, err := one.Execute(g, src)
+		if err != nil {
+			t.Fatalf("%s: greedy: %v", p.name, err)
+		}
+		if len(want.Rows) == 0 {
+			t.Fatalf("%s: no rows; the pair tests nothing", p.name)
+		}
+		for _, eng := range []*olap.Engine{one, many} {
+			for _, q := range []olap.Query{g, w} {
+				got, st, err := eng.Execute(q, src)
+				if err != nil {
+					t.Fatalf("%s: %v", p.name, err)
+				}
+				assertResultsIdentical(t, p.name, got, want)
+				if st.BuildBytes != wantSt.BuildBytes {
+					t.Errorf("%s: build bytes %d != %d", p.name, st.BuildBytes, wantSt.BuildBytes)
+				}
+			}
 		}
 	}
 }
@@ -198,10 +271,6 @@ func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 	e := oltp.NewEngine()
 	db := ch.Load(e, ch.SizingForScale(0.02), 11)
 	runNewOrders(t, e, db, 150)
-	tab := db.OrderLine.Table()
-	src := olap.Source{Table: tab, Parts: []olap.Part{{
-		Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0, Label: "golden",
-	}}}
 
 	ref := olap.NewEngine(2)
 	defer ref.Close()
@@ -212,6 +281,7 @@ func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 	thief.SetPlacement(topology.Placement{PerSocket: []int{0, 6}})
 
 	for _, p := range goldenPairs(db) {
+		src := factSource(db, p.hand.FactTable())
 		built, err := p.plan.Bind(db)
 		if err != nil {
 			t.Fatalf("%s: bind: %v", p.name, err)
@@ -270,7 +340,7 @@ func TestGoldenStableUnderMigrationChurn(t *testing.T) {
 		}
 	}()
 
-	for _, q := range []Query{Q1(db), Q6(db), Q19(db), Q3(db), Q12(db), Q18(db)} {
+	for _, q := range []Query{Q1(db), Q6(db), Q19(db), Q3(db), Q12(db), Q18(db), Q2(db), Q5(db), Q7(db)} {
 		var want olap.Result
 		for round := 0; round < 4; round++ {
 			rep, err := sys.QueryInState(q, S3NI)

@@ -473,16 +473,19 @@ func (s *System) Freshness() (rate float64, freshBytes int64) {
 	return f.Rate, f.Nft
 }
 
-// Q1, Q3, Q6, Q12, Q18 and Q19 build the CH-benCHmark evaluation queries
-// over a database — the paper's trio plus the join/ordered/top-k mix —
-// with their default parameter values. Each is a prepared statement
-// bound once per database (internal/ch parameterized plans) and stamped
-// here with the defaults, so repeated construction never re-runs
-// compilation; a nil db yields a query that fails with a descriptive
-// error when run.
+// Q1 through Q19 build the CH-benCHmark evaluation queries over a
+// database — the paper's trio, the join/ordered/top-k mix, and the
+// graph-join trio Q2/Q5/Q7 planned by greedy join ordering — with their
+// default parameter values. Each is a prepared statement bound once per
+// database (internal/ch parameterized plans) and stamped here with the
+// defaults, so repeated construction never re-runs compilation; a nil db
+// yields a query that fails with a descriptive error when run.
 func Q1(db *DB) Query  { return prepared(db, "Q1", ch.Q1Args(0)) }
+func Q2(db *DB) Query  { return prepared(db, "Q2", ch.Q2Args(0, 0)) }
 func Q3(db *DB) Query  { return prepared(db, "Q3", ch.Q3Args(0)) }
+func Q5(db *DB) Query  { return prepared(db, "Q5", ch.Q5Args(0)) }
 func Q6(db *DB) Query  { return prepared(db, "Q6", ch.Q6Args(0, 0, 0, 0)) }
+func Q7(db *DB) Query  { return prepared(db, "Q7", ch.Q7Args(0)) }
 func Q12(db *DB) Query { return prepared(db, "Q12", ch.Q12Args(0)) }
 func Q18(db *DB) Query { return prepared(db, "Q18", ch.Q18Args(0)) }
 func Q19(db *DB) Query { return prepared(db, "Q19", ch.Q19Args(0, 0, 0, 0)) }

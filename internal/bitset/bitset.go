@@ -112,6 +112,39 @@ func (b *Atomic) Test(i int) bool {
 	return atomic.LoadUint64(&b.words[i/wordBits])&(uint64(1)<<(i%wordBits)) != 0
 }
 
+// AnyInRange reports whether any bit in [lo, hi) is set. Like ForEachSet it
+// sees a weakly consistent view under concurrent mutation; secondary-index
+// morsel skipping only relies on it for bit ranges that are no longer being
+// mutated.
+func (b *Atomic) AnyInRange(lo, hi int) bool {
+	b.mu.RLock()
+	words, n := b.words, b.n
+	b.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return false
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	for wi := loW; wi <= hiW; wi++ {
+		w := atomic.LoadUint64(&words[wi])
+		if wi == loW {
+			w &= ^uint64(0) << (lo % wordBits)
+		}
+		if wi == hiW && (hi%wordBits) != 0 {
+			w &= ^uint64(0) >> (wordBits - hi%wordBits)
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Count returns the number of set bits.
 func (b *Atomic) Count() int {
 	b.mu.RLock()

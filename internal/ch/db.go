@@ -223,7 +223,7 @@ func (db *DB) loadStockItems(rng *rand.Rand) {
 		for i := 1; i <= s.Items; i++ {
 			rows = append(rows, st.EncodeRow(
 				i, w, 10+rng.Int63n(91), 0.0, int64(0), int64(0),
-				distInfo(rng), itemData(rng),
+				distInfo(rng), itemData(rng), int64((w*i)%100),
 			))
 			keys = append(keys, StockKey(int64(w), int64(i)))
 			if len(rows) >= batch {
@@ -260,6 +260,7 @@ func (db *DB) loadCustomers(rng *rand.Rand) {
 				rows = append(rows, ct.EncodeRow(
 					c, d, w, firstName(rng), lastName(rng, c), credit,
 					rng.Float64()*0.5, -10.0, 10.0, int64(1), LoadDay-rng.Int63n(1000),
+					int64(((w*13+d*7+c)*17)%25),
 				))
 				keys = append(keys, CustomerKey(int64(w), int64(d), int64(c)))
 				if len(rows) >= batch {

@@ -69,9 +69,11 @@ func (q *Q3) Prepare() (olap.Exec, int64) {
 		orders[k] = ot.ReadActive(r, ch.OEntryD)
 	}
 	// Broadcast accounting mirrors the builder's join: every dimension row
-	// charges its touched columns — three keys, the carrier predicate and
-	// the entry-date payload.
-	buildBytes := ot.Rows() * 5 * columnar.WordBytes
+	// read charges its touched columns — three keys, the carrier predicate
+	// and the entry-date payload. Like the builder, a complete secondary
+	// index over the never-updated carrier column narrows the read set to
+	// the Eq postings, and the cost model is charged for the narrowed scan.
+	buildBytes := narrowedScan(q.DB.Orders, ch.OCarrierID, 0) * 5 * columnar.WordBytes
 	return &q3Exec{orders: orders, topN: topN}, buildBytes
 }
 

@@ -291,8 +291,11 @@ func Q19Args(qtyLo, qtyHi int64, priceLo, priceHi float64) query.Args {
 // prepared cache.
 var paramPlans = map[string]func() *query.Plan{
 	"Q1":  Q1PlanParam,
+	"Q2":  Q2PlanParam,
 	"Q3":  Q3PlanParam,
+	"Q5":  Q5PlanParam,
 	"Q6":  Q6PlanParam,
+	"Q7":  Q7PlanParam,
 	"Q12": Q12PlanParam,
 	"Q18": Q18PlanParam,
 	"Q19": Q19PlanParam,

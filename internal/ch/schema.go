@@ -58,6 +58,7 @@ const (
 	CYtdPayment
 	CPaymentCnt
 	CSince
+	CNationkey
 )
 
 // History columns.
@@ -123,6 +124,7 @@ const (
 	SRemoteCnt
 	SDist
 	SData
+	SSuSuppkey
 )
 
 // Supplier columns.
@@ -174,7 +176,7 @@ func Schemas() map[string]columnar.Schema {
 			col("c_id", columnar.Int64), col("c_d_id", columnar.Int64), col("c_w_id", columnar.Int64),
 			col("c_first", s), col("c_last", s), col("c_credit", s), col("c_discount", f),
 			col("c_balance", f), col("c_ytd_payment", f), col("c_payment_cnt", columnar.Int64),
-			col("c_since", columnar.Int64),
+			col("c_since", columnar.Int64), col("c_nationkey", columnar.Int64),
 		}},
 		THistory: {Name: THistory, Columns: append(
 			ints("h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date"),
@@ -197,7 +199,7 @@ func Schemas() map[string]columnar.Schema {
 		TStock: {Name: TStock, Columns: []columnar.ColumnDef{
 			col("s_i_id", columnar.Int64), col("s_w_id", columnar.Int64), col("s_quantity", columnar.Int64),
 			col("s_ytd", f), col("s_order_cnt", columnar.Int64), col("s_remote_cnt", columnar.Int64),
-			col("s_dist", s), col("s_data", s),
+			col("s_dist", s), col("s_data", s), col("s_su_suppkey", columnar.Int64),
 		}},
 		TSupplier: {Name: TSupplier, Columns: []columnar.ColumnDef{
 			col("su_suppkey", columnar.Int64), col("su_name", s), col("su_nationkey", columnar.Int64),

@@ -64,6 +64,12 @@ type Table struct {
 	// them: appends are chunk-stable and row-disjoint from any scan.
 	updates atomic.Int64
 
+	// colUpdates counts lifetime in-place updates per column. Secondary
+	// indexes use it for staleness checks: a column whose counter has not
+	// moved since the index was built can serve lookups from postings
+	// alone, even while sibling columns of the same table churn.
+	colUpdates []atomic.Int64
+
 	epoch atomic.Uint64
 
 	appendMu sync.Mutex // serializes row allocation across committing txns
@@ -102,6 +108,7 @@ func NewTable(schema Schema, capHint int64) *Table {
 	}
 	t.rowTS = newWords(capHint)
 	t.dirtyOLAP = bitset.New(int(capHint))
+	t.colUpdates = make([]atomic.Int64, len(schema.Columns))
 	return t
 }
 
@@ -190,6 +197,7 @@ func (t *Table) UpdateCell(row int64, col int, v int64, ts uint64) {
 	in.dirty.Set(int(row))
 	t.dirtyOLAP.Set(int(row))
 	t.updates.Add(1)
+	t.colUpdates[col].Add(1)
 	t.rowTS.Store(row, int64(ts))
 	t.statsMu.Lock()
 	t.stats[a][col].HasUpdates = true
@@ -213,6 +221,11 @@ func (t *Table) RowTS(row int64) uint64 { return uint64(t.rowTS.Load(row)) }
 // UpdateCount returns the lifetime number of in-place cell updates; zero
 // means the table has only ever been appended to.
 func (t *Table) UpdateCount() int64 { return t.updates.Load() }
+
+// ColumnUpdateCount returns the lifetime number of in-place updates that
+// hit column col (across both instances); zero means the column has only
+// ever been written by appends, so all sources agree on its values.
+func (t *Table) ColumnUpdateCount(col int) int64 { return t.colUpdates[col].Load() }
 
 // SwitchResult describes the outcome of an active-instance switch.
 type SwitchResult struct {

@@ -12,6 +12,7 @@ import (
 
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/cuckoo"
+	"elastichtap/internal/index"
 	"elastichtap/internal/topology"
 	"elastichtap/internal/txn"
 )
@@ -20,6 +21,7 @@ import (
 type TableHandle struct {
 	Ref   *txn.TableRef
 	Index *cuckoo.Table // primary-key index; may be nil for index-less tables
+	Sec   *index.Set    // lazily-built secondary indexes (bitmap/hash)
 }
 
 // Table returns the underlying columnar table.
@@ -61,7 +63,7 @@ func (e *Engine) CreateTable(schema columnar.Schema, capHint int64, withIndex bo
 		panic(fmt.Sprintf("oltp: table %q already exists", schema.Name))
 	}
 	t := columnar.NewTable(schema, capHint)
-	h := &TableHandle{Ref: e.mgr.Register(t)}
+	h := &TableHandle{Ref: e.mgr.Register(t), Sec: index.NewSet(t)}
 	if withIndex {
 		h.Index = cuckoo.New(int(capHint))
 	}

@@ -164,6 +164,11 @@ func (x *Exchange) SwitchAndSync(tables []*oltp.TableHandle) *SnapshotSet {
 			})
 			set.CopiedRows += int64(copied)
 			set.SyncSeconds += x.Model.SyncTime(int64(copied), sw.SnapshotRows)
+			if h.Sec != nil {
+				// Bring secondary indexes up to the switch boundary while
+				// the exclusive latch still fences analytical scans.
+				h.Sec.Refresh()
+			}
 			set.Snaps[t.Schema().Name] = &Snapshot{
 				Handle:    h,
 				Inst:      sw.Snapshot,
@@ -218,6 +223,11 @@ func (x *Exchange) ETL(set *SnapshotSet) ETLResult {
 		if snap.Rows > repRows {
 			res.Bytes += rep.CopyInserts(snap.Inst, repRows, snap.Rows)
 			res.InsertedRows += snap.Rows - repRows
+		}
+		if snap.Handle.Sec != nil {
+			// ETL batch boundary: extend built secondary indexes over the
+			// rows the replica just absorbed.
+			snap.Handle.Sec.Refresh()
 		}
 	}
 	res.Seconds = x.Model.ETLTime(res.Bytes, x.Ledger.Count(x.OLAPSocket, topology.OLAP))

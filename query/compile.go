@@ -122,10 +122,13 @@ type jkey [maxJoinCols]int64
 // how to build the key→payload table from the dimension.
 type joinPlan struct {
 	dim        *oltp.TableHandle
-	probeSlots []int // fact scan slots of the key columns
+	probeSlots []int // global slots of the key columns (fact scan, or an earlier join's payload)
 	keyCols    []int // dimension physical columns of the keys
 	payCols    []int // dimension physical columns of the projected payload
 	preds      []dimFilter
+	// payBase is the join's first global payload index: payload column i
+	// occupies slot nscan+payBase+i, shared by every execution path.
+	payBase int
 	// words is the per-row broadcast width in 8-byte words — the distinct
 	// dimension columns touched (keys, payload, predicate columns) —
 	// charged to the cost model as build bytes.
@@ -141,16 +144,23 @@ type Compiled struct {
 	name    string
 	class   costmodel.WorkClass
 	fact    string
+	factH   *oltp.TableHandle // fact handle; its secondary indexes drive morsel skipping
 	cols    []int
 	filters []filter
-	join    *joinPlan
-	groups  []int // slots of the group-key columns (fact or payload)
-	aggs    []aggPlan
-	outCols []string
-	having  []havingFilter
-	order   olap.Order
-	ordered bool
-	limit   int
+	// joins holds the compiled hash joins in execution order (greedy by
+	// default; see order.go). Each probes the fact side — or an earlier
+	// join's payload — against its dimension build table.
+	joins []*joinPlan
+	// npayTotal is the total projected payload width across all joins;
+	// payload columns occupy global slots nscan..nscan+npayTotal-1.
+	npayTotal int
+	groups    []int // slots of the group-key columns (fact or payload)
+	aggs      []aggPlan
+	outCols   []string
+	having    []havingFilter
+	order     olap.Order
+	ordered   bool
+	limit     int
 	// params are the predicate sites awaiting WithArgs values, names the
 	// cached distinct placeholder names; stamped marks a statement
 	// produced by WithArgs as executable.
@@ -191,7 +201,7 @@ func (c *Compiled) Columns() []int { return c.cols }
 // Prepare implements olap.Query. Plans whose shape the fused compiler
 // covers (see kernel.go) specialize into a single-pass kernel from the
 // statement's current predicate values; the rest run the staged path
-// below, which builds the join's key→payload table from the dimension's
+// below, which builds each join's key→payload table from the dimension's
 // active instance (dimensions are static under the transactional
 // workload) and reports its broadcast volume. Single-column keys hash
 // raw int64 words; composite keys hash a fixed-width array. Payload
@@ -203,46 +213,103 @@ func (c *Compiled) Prepare() (olap.Exec, int64) {
 	}
 	e := &exec{c: c}
 	var buildBytes int64
-	if j := c.join; j != nil {
-		dt := j.dim.Table()
-		rows := dt.Rows()
-		npay := len(j.payCols)
-		single := len(j.keyCols) == 1
-		if single {
-			e.build1 = make(map[int64][]int64)
-		} else {
-			e.buildK = make(map[jkey][]int64)
-		}
-		var slab []int64
-	dim:
-		for r := int64(0); r < rows; r++ {
-			for i := range j.preds {
-				f := &j.preds[i]
-				if !f.match(dt.ReadActive(r, f.col)) {
-					continue dim
-				}
-			}
-			var pay []int64
-			if npay > 0 {
-				start := len(slab)
-				for _, pc := range j.payCols {
-					slab = append(slab, dt.ReadActive(r, pc))
-				}
-				pay = slab[start:len(slab):len(slab)]
-			}
-			if single {
-				e.build1[dt.ReadActive(r, j.keyCols[0])] = pay
-			} else {
-				var k jkey
-				for d, kc := range j.keyCols {
-					k[d] = dt.ReadActive(r, kc)
-				}
-				e.buildK[k] = pay
-			}
-		}
-		buildBytes = rows * int64(j.words) * columnar.WordBytes
+	for _, j := range c.joins {
+		bld, scanned := buildStaged(j)
+		e.builds = append(e.builds, bld)
+		buildBytes += scanned * int64(j.words) * columnar.WordBytes
 	}
 	return e, buildBytes
+}
+
+// indexedDimRows narrows one join's build-side scan through the
+// dimension's secondary index: when an Eq predicate (an intact
+// single-word range after stamping) is served by a complete index, the
+// ascending posting rows replace the full scan. The remaining
+// predicates still run per row — postings only shrink the candidate
+// set, so the build side is identical to a full scan. Columns that have
+// ever been updated in place are left alone: their postings can lag a
+// concurrent writer, while a full ReadActive scan cannot.
+func indexedDimRows(j *joinPlan) ([]int64, bool) {
+	dh := j.dim
+	if dh.Sec == nil {
+		return nil, false
+	}
+	dt := dh.Table()
+	for i := range j.preds {
+		f := &j.preds[i]
+		if f.kind != fIntRange || f.ilo != f.ihi {
+			continue
+		}
+		if dt.ColumnUpdateCount(f.col) != 0 {
+			continue
+		}
+		post, wm, ok := dh.Sec.Lookup(f.col, f.ilo)
+		if !ok || wm != dt.Rows() {
+			continue
+		}
+		rows := make([]int64, 0, post.Count())
+		post.ForEach(func(r int64) { rows = append(rows, r) })
+		return rows, true
+	}
+	return nil, false
+}
+
+// buildStaged loads one join's map-backed build side, pre-filtered
+// through the dimension's secondary index when an Eq predicate allows
+// it. Returns the build and the number of dimension rows actually read
+// (the broadcast volume the cost model is charged).
+func buildStaged(j *joinPlan) (stagedBuild, int64) {
+	dt := j.dim.Table()
+	rows := dt.Rows()
+	npay := len(j.payCols)
+	single := len(j.keyCols) == 1
+	var bld stagedBuild
+	if single {
+		bld.m1 = make(map[int64][]int64)
+	} else {
+		bld.mK = make(map[jkey][]int64)
+	}
+	cands, narrowed := indexedDimRows(j)
+	scanned := rows
+	if narrowed {
+		scanned = int64(len(cands))
+	}
+	var slab []int64
+	add := func(r int64) {
+		for i := range j.preds {
+			f := &j.preds[i]
+			if !f.match(dt.ReadActive(r, f.col)) {
+				return
+			}
+		}
+		var pay []int64
+		if npay > 0 {
+			start := len(slab)
+			for _, pc := range j.payCols {
+				slab = append(slab, dt.ReadActive(r, pc))
+			}
+			pay = slab[start:len(slab):len(slab)]
+		}
+		if single {
+			bld.m1[dt.ReadActive(r, j.keyCols[0])] = pay
+		} else {
+			var k jkey
+			for d, kc := range j.keyCols {
+				k[d] = dt.ReadActive(r, kc)
+			}
+			bld.mK[k] = pay
+		}
+	}
+	if narrowed {
+		for _, r := range cands {
+			add(r)
+		}
+	} else {
+		for r := int64(0); r < rows; r++ {
+			add(r)
+		}
+	}
+	return bld, scanned
 }
 
 // Bind compiles the plan against a catalog: table and column names resolve
@@ -272,37 +339,48 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		return nil, fmt.Errorf("query: plan %q has no aggregates; add Agg(query.Count()) at minimum", p.Name())
 	}
 
-	// Resolve the join dimension first: payload names must be known before
-	// the fact scan list forms, so they stay out of it.
-	var dh *oltp.TableHandle
-	var dt *columnar.Table
-	var dschema columnar.Schema
+	// Resolve the joins first — graph edges or the deprecated shims — so
+	// payload names are settled (explicit or inferred) before the fact
+	// scan list forms, and the execution order is fixed (order.go).
+	written, ordered, factPreds, err := p.resolveJoins(cat, schema)
+	if err != nil {
+		return nil, err
+	}
+	preds := p.preds
+	if len(factPreds) > 0 {
+		preds = append(append([]Pred(nil), p.preds...), factPreds...)
+	}
 	isPayload := map[string]bool{}
-	if p.join != nil {
-		dh = cat.Handle(p.join.dim)
-		if dh == nil {
-			return nil, fmt.Errorf("query: unknown dimension table %q", p.join.dim)
-		}
-		dt = dh.Table()
-		dschema = dt.Schema()
-		for _, pc := range p.join.payload {
-			idx := dschema.ColumnIndex(pc)
+	payType := map[string]columnar.Type{}
+	payOwner := map[string]*rjoin{}
+	for _, rj := range written {
+		for _, pc := range rj.spec.payload {
+			idx := rj.schema.ColumnIndex(pc)
 			if idx < 0 {
-				return nil, fmt.Errorf("query: dimension %q has no column %q", p.join.dim, pc)
+				return nil, fmt.Errorf("query: dimension %q has no column %q", rj.spec.dim, pc)
 			}
-			if dschema.Columns[idx].Type == columnar.String {
+			if rj.schema.Columns[idx].Type == columnar.String {
 				return nil, fmt.Errorf("query: join payload column %q is a string; only int64 and float64 payloads project", pc)
 			}
 			if schema.ColumnIndex(pc) >= 0 {
-				return nil, fmt.Errorf("query: join payload column %q is ambiguous: fact table %q has a column of the same name", pc, p.table)
+				return nil, fmt.Errorf("%w: join payload column %q is ambiguous: fact table %q has a column of the same name",
+					ErrAmbiguousColumn, pc, p.table)
+			}
+			if other, dup := payOwner[pc]; dup && other != rj {
+				return nil, fmt.Errorf("%w: %q is reachable from relations %q and %q",
+					ErrAmbiguousColumn, pc, other.spec.dim, rj.spec.dim)
 			}
 			isPayload[pc] = true
+			payType[pc] = rj.schema.Columns[idx].Type
+			payOwner[pc] = rj
 		}
 	}
 
 	// Assemble the scan list: explicit projection order, or reference
-	// order (filters, probe keys, group keys, aggregate inputs). Join
-	// payload columns never scan — the probe materializes them.
+	// order (filters, probe keys, group keys, aggregate inputs) over the
+	// joins in written order — both ordering modes bind to an identical
+	// scan layout. Join payload columns never scan — the probe
+	// materializes them.
 	var refs []string
 	seen := map[string]bool{}
 	addRef := func(col string) {
@@ -311,15 +389,18 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 			refs = append(refs, col)
 		}
 	}
-	for _, pr := range p.preds {
+	for _, pr := range preds {
 		if isPayload[pr.col] {
 			return nil, fmt.Errorf("query: Filter on join payload column %q; use JoinFilter (build side) or Having (after aggregation)", pr.col)
 		}
 		addRef(pr.col)
 	}
-	if p.join != nil {
-		for _, fk := range p.join.factKeys {
-			if isPayload[fk] {
+	for _, rj := range written {
+		for i, fk := range rj.spec.factKeys {
+			if rj.keySrc[i] != "" {
+				continue // sourced from another relation's payload
+			}
+			if len(p.graph) == 0 && isPayload[fk] {
 				return nil, fmt.Errorf("query: join fact key %q is itself a payload column", fk)
 			}
 			addRef(fk)
@@ -351,8 +432,8 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 
 	c := &Compiled{
 		name:  p.Name(),
-		class: p.Class(),
 		fact:  p.table,
+		factH: h,
 		cols:  make([]int, len(scan)),
 	}
 	slots := map[string]int{}
@@ -364,20 +445,21 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.cols[i] = idx
 		slots[name] = i
 	}
-	// Payload columns take virtual slots after the scanned fact columns;
-	// the probe fills their vectors per block.
-	payType := map[string]columnar.Type{}
-	if p.join != nil {
-		for i, pc := range p.join.payload {
-			slots[pc] = len(scan) + i
-			payType[pc] = dschema.Columns[dschema.ColumnIndex(pc)].Type
+	// Payload columns take virtual slots after the scanned fact columns,
+	// assigned in execution order so a later join can probe an earlier
+	// join's payload; the probes fill their vectors per block.
+	for _, rj := range ordered {
+		rj.payBase = c.npayTotal
+		for _, pc := range rj.spec.payload {
+			slots[pc] = len(scan) + c.npayTotal
+			c.npayTotal++
 		}
 	}
 
-	for _, pr := range p.preds {
+	for _, pr := range preds {
 		if len(predParams(pr)) > 0 {
 			idx := schema.ColumnIndex(pr.col) // resolved by the scan-list loop above
-			if err := c.noteParams(pr, schema.Columns[idx].Type, tab.Dict(idx), siteFilter, len(c.filters)); err != nil {
+			if err := c.noteParams(pr, schema.Columns[idx].Type, tab.Dict(idx), siteFilter, len(c.filters), 0); err != nil {
 				return nil, err
 			}
 			c.filters = append(c.filters, filter{slot: slots[pr.col], ftest: ftest{kind: fNever}})
@@ -390,12 +472,23 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 		c.filters = append(c.filters, filter{slot: slots[pr.col], ftest: test})
 	}
 
-	if p.join != nil {
-		jp, err := compileJoin(c, p, schema, dh, slots)
+	for ji, rj := range ordered {
+		jp, err := compileJoin(c, rj, ji, schema, slots, payType)
 		if err != nil {
 			return nil, err
 		}
-		c.join = jp
+		jp.payBase = rj.payBase
+		c.joins = append(c.joins, jp)
+	}
+	switch {
+	case c.npayTotal > 0:
+		c.class = costmodel.JoinProject
+	case len(c.joins) > 0:
+		c.class = costmodel.JoinProbe
+	case len(p.groups) > 0:
+		c.class = costmodel.ScanGroupBy
+	default:
+		c.class = costmodel.ScanReduce
 	}
 
 	colType := func(name string) columnar.Type {
@@ -429,12 +522,12 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 				return nil, fmt.Errorf("query: CountIf over unknown column %q", a.cond.col)
 			}
 			ctab, cschema := tab, schema
-			if isPayload[a.cond.col] {
-				ctab, cschema = dt, dschema
+			if owner := payOwner[a.cond.col]; owner != nil {
+				ctab, cschema = owner.dh.Table(), owner.schema
 			}
 			if len(predParams(*a.cond)) > 0 {
 				idx := cschema.ColumnIndex(a.cond.col)
-				if err := c.noteParams(*a.cond, cschema.Columns[idx].Type, ctab.Dict(idx), siteCond, len(c.aggs)); err != nil {
+				if err := c.noteParams(*a.cond, cschema.Columns[idx].Type, ctab.Dict(idx), siteCond, len(c.aggs), 0); err != nil {
 					return nil, err
 				}
 				ap.cond, ap.condSlot = &ftest{kind: fNever}, slot
@@ -477,7 +570,7 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 			return nil, fmt.Errorf("query: Having column %q is not an output column (have %v)", pr.col, c.outCols)
 		}
 		if len(predParams(pr)) > 0 {
-			if err := c.noteParams(pr, columnar.Float64, nil, siteHaving, len(c.having)); err != nil {
+			if err := c.noteParams(pr, columnar.Float64, nil, siteHaving, len(c.having), 0); err != nil {
 				return nil, err
 			}
 			c.having = append(c.having, havingFilter{col: col, ftest: ftest{kind: fNever}})
@@ -511,18 +604,28 @@ func (p *Plan) Bind(cat Catalog) (*Compiled, error) {
 	return c, nil
 }
 
-// compileJoin resolves the join's dimension side: key columns (int64 on
-// both sides), payload columns and build-side predicates. Parameterized
-// build-side predicates record their stamping sites on c.
-func compileJoin(c *Compiled, p *Plan, schema columnar.Schema, dh *oltp.TableHandle, slots map[string]int) (*joinPlan, error) {
-	j := p.join
+// compileJoin resolves one join's dimension side: key columns (int64 on
+// both sides — the fact side may be a fact scan column or an earlier
+// join's payload), payload columns and build-side predicates.
+// Parameterized build-side predicates record their stamping sites on c,
+// keyed by the join's execution index.
+func compileJoin(c *Compiled, rj *rjoin, jidx int, schema columnar.Schema, slots map[string]int, payType map[string]columnar.Type) (*joinPlan, error) {
+	j := rj.spec
+	dh := rj.dh
 	dt := dh.Table()
-	dschema := dt.Schema()
+	dschema := rj.schema
 	jp := &joinPlan{dim: dh}
 	touched := map[int]bool{}
 	for i, fk := range j.factKeys {
-		slot := slots[fk]
-		if schema.Columns[schema.ColumnIndex(fk)].Type != columnar.Int64 {
+		slot, ok := slots[fk]
+		if !ok {
+			return nil, fmt.Errorf("query: join fact key %q missing from the scan list", fk)
+		}
+		ftype, isPay := payType[fk]
+		if !isPay {
+			ftype = schema.Columns[schema.ColumnIndex(fk)].Type
+		}
+		if ftype != columnar.Int64 {
 			return nil, fmt.Errorf("query: join fact key %q is not int64", fk)
 		}
 		kc := dschema.ColumnIndex(j.dimKeys[i])
@@ -547,7 +650,7 @@ func compileJoin(c *Compiled, p *Plan, schema columnar.Schema, dh *oltp.TableHan
 			return nil, fmt.Errorf("query: dimension %q has no column %q", j.dim, pr.col)
 		}
 		if len(predParams(pr)) > 0 {
-			if err := c.noteParams(pr, dschema.Columns[col].Type, dt.Dict(col), siteJoin, len(jp.preds)); err != nil {
+			if err := c.noteParams(pr, dschema.Columns[col].Type, dt.Dict(col), siteJoin, len(jp.preds), jidx); err != nil {
 				return nil, err
 			}
 			jp.preds = append(jp.preds, dimFilter{col: col, ftest: ftest{kind: fNever}})
@@ -762,13 +865,18 @@ type acc struct {
 	seen  bool
 }
 
+// stagedBuild is one join's build side: single-column keys hash raw
+// words (m1), composite keys hash fixed-width arrays (mK). Values are
+// the projected payload words (nil for semi-joins).
+type stagedBuild struct {
+	m1 map[int64][]int64
+	mK map[jkey][]int64
+}
+
 type exec struct {
 	c *Compiled
-	// Join build side: single-column keys hash raw words (build1),
-	// composite keys hash fixed-width arrays (buildK). Values are the
-	// projected payload words (nil for semi-joins).
-	build1 map[int64][]int64
-	buildK map[jkey][]int64
+	// builds holds one build side per compiled join, in execution order.
+	builds []stagedBuild
 	// scratch pools selection-vector, payload-vector and accumulator-row
 	// buffers across the task's morsels and workers: locals are per-morsel
 	// (for the engine's deterministic ordered merge), so reusable scratch
@@ -899,46 +1007,54 @@ func (l *local) consume(b olap.Block, sc *scratchBufs) {
 		return
 	}
 	cols := b.Cols
-	if j := c.join; j != nil {
-		npay := len(j.payCols)
+	if len(c.joins) > 0 {
+		// Assemble the full column view (fact scan + every payload vector)
+		// up front: a later join may probe an earlier join's payload slot,
+		// so all virtual slots must be addressable before the first probe.
 		var pay [][]int64
-		if npay > 0 {
-			pay = sc.payloadVecs(npay, b.N)
-		}
-		out := sel[:0]
-		if len(j.probeSlots) == 1 {
-			vec := b.Cols[j.probeSlots[0]]
-			for _, i := range sel {
-				v, ok := l.e.build1[vec[i]]
-				if !ok {
-					continue
-				}
-				for k := 0; k < npay; k++ {
-					pay[k][i] = v[k]
-				}
-				out = append(out, i)
-			}
-		} else {
-			for _, i := range sel {
-				var k jkey
-				for d, s := range j.probeSlots {
-					k[d] = b.Cols[s][i]
-				}
-				v, ok := l.e.buildK[k]
-				if !ok {
-					continue
-				}
-				for pi := 0; pi < npay; pi++ {
-					pay[pi][i] = v[pi]
-				}
-				out = append(out, i)
-			}
-		}
-		sel = out
-		if npay > 0 {
+		if c.npayTotal > 0 {
+			pay = sc.payloadVecs(c.npayTotal, b.N)
 			cols = append(sc.cols[:0], b.Cols...)
 			cols = append(cols, pay...)
 			sc.cols = cols[:0]
+		}
+		for ji := range c.joins {
+			j := c.joins[ji]
+			bld := &l.e.builds[ji]
+			npay := len(j.payCols)
+			out := sel[:0]
+			if len(j.probeSlots) == 1 {
+				vec := cols[j.probeSlots[0]]
+				for _, i := range sel {
+					v, ok := bld.m1[vec[i]]
+					if !ok {
+						continue
+					}
+					for k := 0; k < npay; k++ {
+						pay[j.payBase+k][i] = v[k]
+					}
+					out = append(out, i)
+				}
+			} else {
+				for _, i := range sel {
+					var k jkey
+					for d, s := range j.probeSlots {
+						k[d] = cols[s][i]
+					}
+					v, ok := bld.mK[k]
+					if !ok {
+						continue
+					}
+					for pi := 0; pi < npay; pi++ {
+						pay[j.payBase+pi][i] = v[pi]
+					}
+					out = append(out, i)
+				}
+			}
+			sel = out
+			if len(sel) == 0 {
+				break
+			}
 		}
 	}
 	sc.sel = sel // retain scratch capacity

@@ -26,12 +26,18 @@ import (
 	"sync/atomic"
 
 	"elastichtap/internal/columnar"
+	"elastichtap/internal/index"
 	"elastichtap/internal/olap"
 )
 
 // disableFusion is a test knob forcing the staged fallback path so its
 // exactness stays covered even while fusion handles every shape.
 var disableFusion atomic.Bool
+
+// disableIndexSkip is a test knob forcing every morsel through the row
+// loop, so index-skipped executions can be checked bit-identical against
+// unskipped ones.
+var disableIndexSkip atomic.Bool
 
 // fAccKind is a physical accumulator kind after deduplication.
 type fAccKind uint8
@@ -212,9 +218,10 @@ type ffrange struct {
 }
 
 const (
-	jNone uint8 = iota
-	jOne
-	jMany
+	jNone  uint8 = iota
+	jOne         // one join, single-column key
+	jMany        // one join, composite key
+	jMulti       // two or more joins, probed in execution order
 )
 
 const (
@@ -255,6 +262,13 @@ type fexec struct {
 	npay       int
 	j1         joinTab1
 	jK         joinTabK
+	// jMulti: one fjoin per compiled join, execution order; payload
+	// columns land in a flat per-local buffer of npayTotal words.
+	joins     []fjoin
+	npayTotal int
+
+	// skips are the morsel-skip probes (see buildSkips).
+	skips []fskip
 
 	// grouping
 	gkind uint8
@@ -380,20 +394,95 @@ func (c *Compiled) prepareFused() (olap.Exec, int64) {
 		e.ops = append(e.ops, op)
 	}
 	var buildBytes int64
-	if j := c.join; j != nil {
+	switch len(c.joins) {
+	case 0:
+	case 1:
+		j := c.joins[0]
 		e.npay = len(j.payCols)
+		e.npayTotal = e.npay
+		var scanned int64
 		if len(j.keyCols) == 1 {
 			e.jkind = jOne
 			e.probeSlot = j.probeSlots[0]
-			e.j1.build(j)
+			scanned = e.j1.build(j)
 		} else {
 			e.jkind = jMany
 			e.probeSlots = j.probeSlots
 			e.nkey = len(j.keyCols)
-			e.jK.build(j)
+			scanned = e.jK.build(j)
 		}
-		buildBytes = j.dim.Table().Rows() * int64(j.words) * columnar.WordBytes
+		buildBytes = scanned * int64(j.words) * columnar.WordBytes
+	default:
+		e.jkind = jMulti
+		e.npayTotal = c.npayTotal
+		for _, j := range c.joins {
+			fj := fjoin{
+				one:        len(j.keyCols) == 1,
+				probeSlots: j.probeSlots,
+				nkey:       len(j.keyCols),
+				npay:       len(j.payCols),
+				payBase:    j.payBase,
+			}
+			var scanned int64
+			if fj.one {
+				scanned = fj.j1.build(j)
+			} else {
+				scanned = fj.jK.build(j)
+			}
+			buildBytes += scanned * int64(j.words) * columnar.WordBytes
+			e.joins = append(e.joins, fj)
+		}
 	}
+	e.buildSkips()
 	e.spec = e.pickSpec()
 	return e, buildBytes
+}
+
+// fjoin is one of a jMulti kernel's joins: its probe sources (fact scan
+// slots or earlier joins' payload slots), its build table, and where its
+// payload lands in the per-local payload buffer.
+type fjoin struct {
+	one        bool  // single-column key: probe j1, else jK
+	probeSlots []int // global slots of the key columns
+	nkey       int
+	npay       int
+	payBase    int // first index into the payload buffer
+	j1         joinTab1
+	jK         joinTabK
+}
+
+// fskip is one morsel-skip probe: an Eq filter over a never-updated,
+// indexed fact column. A block lying wholly under the index watermark
+// whose posting set has no row inside the block's range cannot produce a
+// match, so Consume returns without touching any column data. Updated-in-
+// place or post-refresh rows are never skipped — blocks past the
+// watermark always scan.
+type fskip struct {
+	post index.Postings
+	wm   int64
+}
+
+// buildSkips collects the skip probes from the stamped filters. Runs per
+// Prepare, so parameterized Eq filters skip just like literal ones.
+func (e *fexec) buildSkips() {
+	h := e.c.factH
+	if h == nil || h.Sec == nil {
+		return
+	}
+	t := h.Table()
+	for i := range e.c.filters {
+		f := &e.c.filters[i]
+		if f.kind != fIntRange || f.ilo != f.ihi || f.slot >= e.nscan {
+			continue
+		}
+		col := e.c.cols[f.slot]
+		if t.ColumnUpdateCount(col) != 0 {
+			continue
+		}
+		post, wm, ok := h.Sec.Lookup(col, f.ilo)
+		if !ok {
+			continue
+		}
+		e.skips = append(e.skips, fskip{post: post, wm: wm})
+	}
 }

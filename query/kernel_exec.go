@@ -87,18 +87,28 @@ func (t *joinTab1) grow() {
 	}
 }
 
-// build loads the dimension's predicate-passing rows. Duplicate keys
-// keep the last row's payload, matching the map build it replaces.
-func (t *joinTab1) build(j *joinPlan) {
+// build loads the dimension's predicate-passing rows, narrowed through
+// the dimension's secondary index when an Eq predicate allows it (see
+// indexedDimRows). Duplicate keys keep the last row's payload, matching
+// the map build it replaces — posting rows iterate ascending, so the
+// narrowed build resolves duplicates identically. Returns the number of
+// dimension rows read (the cost model's broadcast volume).
+func (t *joinTab1) build(j *joinPlan) int64 {
 	dt := j.dim.Table()
 	rows := dt.Rows()
 	t.npay = len(j.payCols)
-	// Presize for the dimension only when every row enters; a predicated
-	// build stays small and grows to its matches, keeping selective
-	// tables cache-resident.
+	cands, narrowed := indexedDimRows(j)
+	scanned := rows
+	// Presize for the rows that will actually be visited; a predicated
+	// un-narrowed build stays small and grows to its matches, keeping
+	// selective tables cache-resident.
 	n0 := int(rows)
 	if len(j.preds) > 0 {
 		n0 = 0
+	}
+	if narrowed {
+		scanned = int64(len(cands))
+		n0 = len(cands)
 	}
 	nslots, shift := sizeFor(n0)
 	t.slots = make([]j1slot, nslots)
@@ -108,12 +118,11 @@ func (t *joinTab1) build(j *joinPlan) {
 	}
 	kc := j.keyCols[0]
 	n := 0
-dim:
-	for r := int64(0); r < rows; r++ {
+	add := func(r int64) {
 		for i := range j.preds {
 			f := &j.preds[i]
 			if !f.match(dt.ReadActive(r, f.col)) {
-				continue dim
+				return
 			}
 		}
 		off := int32(len(t.slab))
@@ -139,6 +148,16 @@ dim:
 			h = (h + 1) & t.mask
 		}
 	}
+	if narrowed {
+		for _, r := range cands {
+			add(r)
+		}
+	} else {
+		for r := int64(0); r < rows; r++ {
+			add(r)
+		}
+	}
+	return scanned
 }
 
 // joinTabK is the composite-key variant over fixed-width jkey arrays.
@@ -175,14 +194,20 @@ func (t *joinTabK) grow() {
 	}
 }
 
-func (t *joinTabK) build(j *joinPlan) {
+func (t *joinTabK) build(j *joinPlan) int64 {
 	dt := j.dim.Table()
 	rows := dt.Rows()
 	t.npay = len(j.payCols)
 	t.nkey = len(j.keyCols)
+	cands, narrowed := indexedDimRows(j)
+	scanned := rows
 	n0 := int(rows)
 	if len(j.preds) > 0 {
 		n0 = 0
+	}
+	if narrowed {
+		scanned = int64(len(cands))
+		n0 = len(cands)
 	}
 	nslots, shift := sizeFor(n0)
 	t.slots = make([]jKslot, nslots)
@@ -191,12 +216,11 @@ func (t *joinTabK) build(j *joinPlan) {
 		t.slab = make([]int64, 0, n0*t.npay)
 	}
 	n := 0
-dim:
-	for r := int64(0); r < rows; r++ {
+	add := func(r int64) {
 		for i := range j.preds {
 			f := &j.preds[i]
 			if !f.match(dt.ReadActive(r, f.col)) {
-				continue dim
+				return
 			}
 		}
 		off := int32(len(t.slab))
@@ -225,6 +249,16 @@ dim:
 			h = (h + 1) & t.mask
 		}
 	}
+	if narrowed {
+		for _, r := range cands {
+			add(r)
+		}
+	} else {
+		for r := int64(0); r < rows; r++ {
+			add(r)
+		}
+	}
+	return scanned
 }
 
 // groupTab is per-local spill group state: an open-addressed index over
@@ -312,6 +346,7 @@ type flocal struct {
 	present   []bool  // gDense occupancy
 	flatIF    []sumIF // specDenseSumIF: dense cells, cnt>0 = present
 	tab       *groupTab
+	payBuf    []int64 // jMulti: the current row's gathered payload words
 }
 
 // NewLocal implements olap.Exec.
@@ -323,6 +358,9 @@ func (e *fexec) NewLocal() olap.Local {
 		} else {
 			l.global = make([]acc, e.nacc)
 		}
+	}
+	if e.jkind == jMulti {
+		l.payBuf = make([]int64, e.npayTotal)
 	}
 	return l
 }
@@ -374,6 +412,18 @@ func (l *flocal) Consume(b olap.Block) {
 	e := l.e
 	if e.never || b.N == 0 {
 		return
+	}
+	// Morsel skipping: an Eq filter over a never-updated indexed fact
+	// column whose postings have no row in this block's range cannot
+	// match; blocks past the index watermark always scan.
+	if len(e.skips) > 0 && !disableIndexSkip.Load() {
+		end := b.Base + int64(b.N)
+		for i := range e.skips {
+			sk := &e.skips[i]
+			if end <= sk.wm && !sk.post.AnyInRange(b.Base, end) {
+				return
+			}
+		}
 	}
 	switch e.spec {
 	case specGlobalSumF2:
@@ -435,6 +485,68 @@ func (e *fexec) probe(cols [][]int64, i int, pay *[]int64) bool {
 				return true
 			}
 			h = (h + 1) & e.jK.mask
+		}
+	}
+	return true
+}
+
+// probeMulti resolves a jMulti kernel's joins for row i in execution
+// order: each key gathers from fact block columns or from an earlier
+// join's words already landed in payBuf, and each match copies its
+// payload slab into payBuf at the join's payBase. Reports whether every
+// join matched.
+func (e *fexec) probeMulti(cols [][]int64, i int, payBuf []int64) bool {
+	for ji := range e.joins {
+		j := &e.joins[ji]
+		if j.one {
+			var k int64
+			if s := j.probeSlots[0]; s >= e.nscan {
+				k = payBuf[s-e.nscan]
+			} else {
+				k = cols[s][i]
+			}
+			h := hash1(k, j.j1.shift)
+			for {
+				sl := &j.j1.slots[h]
+				if !sl.used {
+					return false
+				}
+				if sl.key == k {
+					// Single-word payloads (the common case) skip memmove.
+					if j.npay == 1 {
+						payBuf[j.payBase] = j.j1.slab[sl.off]
+					} else if j.npay > 0 {
+						copy(payBuf[j.payBase:j.payBase+j.npay], j.j1.slab[sl.off:int(sl.off)+j.npay])
+					}
+					break
+				}
+				h = (h + 1) & j.j1.mask
+			}
+			continue
+		}
+		var k jkey
+		for d, s := range j.probeSlots {
+			if s >= e.nscan {
+				k[d] = payBuf[s-e.nscan]
+			} else {
+				k[d] = cols[s][i]
+			}
+		}
+		h := hashJK(&k, j.nkey) >> j.jK.shift
+		for {
+			sl := &j.jK.slots[h]
+			if !sl.used {
+				return false
+			}
+			if sl.key == k {
+				if j.npay == 1 {
+					payBuf[j.payBase] = j.jK.slab[sl.off]
+				} else if j.npay > 0 {
+					copy(payBuf[j.payBase:j.payBase+j.npay], j.jK.slab[sl.off:int(sl.off)+j.npay])
+				}
+				break
+			}
+			h = (h + 1) & j.jK.mask
 		}
 	}
 	return true
@@ -525,11 +637,18 @@ func (l *flocal) consumeGlobal(b olap.Block) {
 	cols := b.Cols
 	accs := l.global
 	var pay []int64
+	if e.jkind == jMulti {
+		pay = l.payBuf
+	}
 	for i := 0; i < b.N; i++ {
 		if !e.filterRow(cols, i) {
 			continue
 		}
-		if e.jkind != jNone && !e.probe(cols, i, &pay) {
+		if e.jkind == jMulti {
+			if !e.probeMulti(cols, i, l.payBuf) {
+				continue
+			}
+		} else if e.jkind != jNone && !e.probe(cols, i, &pay) {
 			continue
 		}
 		e.update(accs, cols, pay, i)
@@ -545,11 +664,18 @@ func (l *flocal) consumeDense(b olap.Block) {
 		kvec = cols[e.gslot]
 	}
 	var pay []int64
+	if e.jkind == jMulti {
+		pay = l.payBuf
+	}
 	for i := 0; i < b.N; i++ {
 		if !e.filterRow(cols, i) {
 			continue
 		}
-		if e.jkind != jNone && !e.probe(cols, i, &pay) {
+		if e.jkind == jMulti {
+			if !e.probeMulti(cols, i, l.payBuf) {
+				continue
+			}
+		} else if e.jkind != jNone && !e.probe(cols, i, &pay) {
 			continue
 		}
 		var k int64
@@ -576,11 +702,18 @@ func (l *flocal) consumeSpill(b olap.Block) {
 	e := l.e
 	cols := b.Cols
 	var pay []int64
+	if e.jkind == jMulti {
+		pay = l.payBuf
+	}
 	for i := 0; i < b.N; i++ {
 		if !e.filterRow(cols, i) {
 			continue
 		}
-		if e.jkind != jNone && !e.probe(cols, i, &pay) {
+		if e.jkind == jMulti {
+			if !e.probeMulti(cols, i, l.payBuf) {
+				continue
+			}
+		} else if e.jkind != jNone && !e.probe(cols, i, &pay) {
 			continue
 		}
 		var k gkey

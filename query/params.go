@@ -42,19 +42,21 @@ type siteKind int8
 
 const (
 	siteFilter siteKind = iota // Compiled.filters[idx]
-	siteJoin                   // Compiled.join.preds[idx]
+	siteJoin                   // Compiled.joins[jidx].preds[idx]
 	siteHaving                 // Compiled.having[idx]
 	siteCond                   // Compiled.aggs[idx].cond
 )
 
 // paramSite is one predicate awaiting its values: the original predicate
 // (with placeholders), the bound column's storage type, the dictionary
-// for string columns, and where the stamped test must land. Recording the
-// site at Bind is what lets WithArgs skip compilation entirely: name
-// resolution, type analysis and slot assignment are already done.
+// for string columns, and where the stamped test must land (jidx selects
+// the join for siteJoin sites). Recording the site at Bind is what lets
+// WithArgs skip compilation entirely: name resolution, type analysis and
+// slot assignment are already done.
 type paramSite struct {
 	kind siteKind
 	idx  int
+	jidx int
 	pred Pred
 	typ  columnar.Type
 	dict *columnar.Dict
@@ -77,7 +79,7 @@ func predParams(pr Pred) []string {
 // checked here — operator/type rules and any literal mixed in alongside
 // a placeholder (Between with one fixed end) — so Prepare surfaces type
 // errors once and only the placeholder values arrive later.
-func (c *Compiled) noteParams(pr Pred, typ columnar.Type, dict *columnar.Dict, kind siteKind, idx int) error {
+func (c *Compiled) noteParams(pr Pred, typ columnar.Type, dict *columnar.Dict, kind siteKind, idx, jidx int) error {
 	for _, n := range predParams(pr) {
 		if n == "" {
 			return fmt.Errorf("query: Param with empty name on column %q", pr.col)
@@ -112,7 +114,7 @@ func (c *Compiled) noteParams(pr Pred, typ columnar.Type, dict *columnar.Dict, k
 			return err
 		}
 	}
-	c.params = append(c.params, paramSite{kind: kind, idx: idx, pred: pr, typ: typ, dict: dict})
+	c.params = append(c.params, paramSite{kind: kind, idx: idx, jidx: jidx, pred: pr, typ: typ, dict: dict})
 	return nil
 }
 
@@ -211,9 +213,19 @@ func (c *Compiled) WithArgs(args Args) (*Compiled, error) {
 		clone.aggs = slices.Clone(c.aggs)
 	}
 	if stampedKinds[siteJoin] {
-		j := *c.join
-		j.preds = slices.Clone(c.join.preds)
-		clone.join = &j
+		// Clone only the joins that actually carry sites; the rest share
+		// their joinPlans read-only with the receiver.
+		clone.joins = slices.Clone(c.joins)
+		cloned := make([]bool, len(c.joins))
+		for _, s := range c.params {
+			if s.kind != siteJoin || cloned[s.jidx] {
+				continue
+			}
+			j := *c.joins[s.jidx]
+			j.preds = slices.Clone(j.preds)
+			clone.joins[s.jidx] = &j
+			cloned[s.jidx] = true
+		}
 	}
 	for _, s := range c.params {
 		pr := s.pred
@@ -244,7 +256,7 @@ func (c *Compiled) WithArgs(args Args) (*Compiled, error) {
 		case siteFilter:
 			clone.filters[s.idx].ftest = t
 		case siteJoin:
-			clone.join.preds[s.idx].ftest = t
+			clone.joins[s.jidx].preds[s.idx].ftest = t
 		case siteHaving:
 			clone.having[s.idx].ftest = t
 		case siteCond:
