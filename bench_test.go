@@ -10,6 +10,7 @@
 package elastichtap
 
 import (
+	"context"
 	"testing"
 
 	"elastichtap/internal/ch"
@@ -255,7 +256,7 @@ func BenchmarkQ6Execution(b *testing.B) {
 	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sys.RunQuery(q, core.QueryOptions{
+		if _, _, err := sys.RunQueryContext(context.Background(), q, core.QueryOptions{
 			ForceState: core.ForcedState(core.S2),
 		}, nil); err != nil {
 			b.Fatal(err)
@@ -287,7 +288,7 @@ func BenchmarkQ6Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -304,7 +305,7 @@ func BenchmarkQ6Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -321,7 +322,7 @@ func BenchmarkQ1Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +335,7 @@ func BenchmarkQ1Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -348,7 +349,7 @@ func BenchmarkQ19Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -364,7 +365,7 @@ func BenchmarkQ19Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -393,7 +394,7 @@ func BenchmarkQ3Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,7 +410,7 @@ func BenchmarkQ3Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -423,7 +424,7 @@ func BenchmarkQ18Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -439,7 +440,7 @@ func BenchmarkQ18Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -454,7 +455,7 @@ func BenchmarkQ12Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -470,7 +471,7 @@ func BenchmarkQ12Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 4 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -495,7 +496,7 @@ func BenchmarkQ2Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 2 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -512,7 +513,7 @@ func BenchmarkQ2Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 2 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -527,7 +528,7 @@ func BenchmarkQ5Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -543,7 +544,7 @@ func BenchmarkQ5Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 3 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -558,7 +559,7 @@ func BenchmarkQ7Handcoded(b *testing.B) {
 	b.SetBytes(src.Rows() * 7 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -574,7 +575,7 @@ func BenchmarkQ7Builder(b *testing.B) {
 	b.SetBytes(src.Rows() * 7 * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -593,7 +594,7 @@ func benchOrdered(b *testing.B, plan *query.Plan, words int64) {
 	b.SetBytes(src.Rows() * words * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -663,7 +664,7 @@ func BenchmarkRebind(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -685,7 +686,7 @@ func BenchmarkStmtReuse(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -772,7 +773,7 @@ func BenchmarkPoolConcurrentQueries(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, _, err := eng.Execute(q, src); err != nil {
+			if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -796,7 +797,7 @@ func BenchmarkPoolElasticResize(b *testing.B) {
 				return
 			default:
 			}
-			if _, _, err := eng.Execute(q, src); err != nil {
+			if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 				b.Error(err)
 				return
 			}

@@ -1,6 +1,7 @@
 package elastichtap
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -116,11 +117,11 @@ func TestBuilderGoldenSingleWorker(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: bind: %v", p.name, err)
 		}
-		want, wantSt, err := eng.Execute(p.hand, src)
+		want, wantSt, err := eng.ExecuteContext(context.Background(), p.hand, src)
 		if err != nil {
 			t.Fatalf("%s: hand-coded: %v", p.name, err)
 		}
-		got, gotSt, err := eng.Execute(built, src)
+		got, gotSt, err := eng.ExecuteContext(context.Background(), built, src)
 		if err != nil {
 			t.Fatalf("%s: builder: %v", p.name, err)
 		}
@@ -174,7 +175,7 @@ func TestGreedyOrderMatchesWrittenOrder(t *testing.T) {
 			t.Fatalf("%s: scan columns differ: greedy %v, written %v", p.name, g.Columns(), w.Columns())
 		}
 		src := factSource(db, g.FactTable())
-		want, wantSt, err := one.Execute(g, src)
+		want, wantSt, err := one.ExecuteContext(context.Background(), g, src)
 		if err != nil {
 			t.Fatalf("%s: greedy: %v", p.name, err)
 		}
@@ -183,7 +184,7 @@ func TestGreedyOrderMatchesWrittenOrder(t *testing.T) {
 		}
 		for _, eng := range []*olap.Engine{one, many} {
 			for _, q := range []olap.Query{g, w} {
-				got, st, err := eng.Execute(q, src)
+				got, st, err := eng.ExecuteContext(context.Background(), q, src)
 				if err != nil {
 					t.Fatalf("%s: %v", p.name, err)
 				}
@@ -220,11 +221,11 @@ func TestBuilderGoldenAcrossStates(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: bind: %v", p.name, err)
 				}
-				want, err := sys.QueryInState(p.hand, st)
+				want, err := sys.QueryInStateContext(context.Background(), p.hand, st)
 				if err != nil {
 					t.Fatalf("sf=%v %v %s: hand-coded: %v", sf, st, p.name, err)
 				}
-				got, err := sys.QueryInState(built, st)
+				got, err := sys.QueryInStateContext(context.Background(), built, st)
 				if err != nil {
 					t.Fatalf("sf=%v %v %s: builder: %v", sf, st, p.name, err)
 				}
@@ -286,7 +287,7 @@ func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: bind: %v", p.name, err)
 		}
-		want, _, err := ref.Execute(p.hand, src)
+		want, _, err := ref.ExecuteContext(context.Background(), p.hand, src)
 		if err != nil {
 			t.Fatalf("%s: reference: %v", p.name, err)
 		}
@@ -295,7 +296,7 @@ func TestBuilderGoldenDeterministicUnderStealing(t *testing.T) {
 		}
 		for round := 0; round < 3; round++ {
 			for _, q := range []olap.Query{p.hand, built} {
-				got, st, err := thief.Execute(q, src)
+				got, st, err := thief.ExecuteContext(context.Background(), q, src)
 				if err != nil {
 					t.Fatalf("%s round %d: %v", p.name, round, err)
 				}
@@ -343,7 +344,7 @@ func TestGoldenStableUnderMigrationChurn(t *testing.T) {
 	for _, q := range []Query{Q1(db), Q6(db), Q19(db), Q3(db), Q12(db), Q18(db), Q2(db), Q5(db), Q7(db)} {
 		var want olap.Result
 		for round := 0; round < 4; round++ {
-			rep, err := sys.QueryInState(q, S3NI)
+			rep, err := sys.QueryInStateContext(context.Background(), q, S3NI)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -384,7 +385,7 @@ func TestAdhocFilterGroupByEndToEnd(t *testing.T) {
 	if q.Class() != ScanGroupBy {
 		t.Fatalf("inferred class %v, want ScanGroupBy", q.Class())
 	}
-	rep, err := sys.Query(q)
+	rep, err := sys.QueryContext(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,11 +44,15 @@ func main() {
 			GroupBy("ol_number").
 			Agg(query.Min("ol_amount").As("min_amount"), query.Max("ol_amount").As("max_amount")),
 
-		// Revenue from premium items (semi-join against the item
-		// dimension: a JoinProbe pipeline, broadcast-costed).
+		// Revenue from premium items (an existence-only graph edge
+		// against the item dimension: a JoinProbe pipeline,
+		// broadcast-costed).
 		query.Scan("orderline").
 			Named("premium-items").
-			SemiJoin("item", "ol_i_id", "i_id", query.Ge("i_price", 90.0)).
+			JoinGraph(query.JoinOn(
+				query.Rel("orderline"),
+				query.Rel("item").Filter(query.Ge("i_price", 90.0)),
+				"ol_i_id", "i_id")).
 			Agg(query.Sum("ol_amount").As("revenue"), query.Count().As("matches")),
 
 		// Average basket quantity across everything (a bare ScanReduce).
@@ -64,7 +69,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := sys.Query(q)
+		rep, err := sys.QueryContext(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

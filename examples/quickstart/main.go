@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	for round := 1; round <= 10; round++ {
 		sys.Run(800)
 		rate, freshBytes := sys.Freshness()
-		rep, err := sys.Query(elastichtap.Q6(db))
+		rep, err := sys.QueryContext(context.Background(), elastichtap.Q6(db))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 			elastichtap.Q1(db), elastichtap.Q6(db), elastichtap.Q19(db),
 			elastichtap.Q1(db), elastichtap.Q6(db), elastichtap.Q19(db),
 		}
-		reps, err := sys.QueryBatch(batch)
+		reps, err := sys.QueryBatchContext(context.Background(), batch)
 		if err != nil {
 			log.Fatal(err)
 		}

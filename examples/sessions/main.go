@@ -81,7 +81,7 @@ func main() {
 	}
 	var times []timing
 	for _, q := range db.QuerySet() {
-		rep, err := sys.Query(q)
+		rep, err := sys.QueryContext(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -99,7 +99,7 @@ func main() {
 	fmt.Printf("unknown tenant: %v\n", err != nil)
 	// ...and untenanted callers still run as the implicit default tenant,
 	// exactly as they did before the workload manager existed.
-	if _, err := sys.Query(elastichtap.Q6(db)); err != nil {
+	if _, err := sys.QueryContext(context.Background(), elastichtap.Q6(db)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("untenanted query ran via the default tenant")

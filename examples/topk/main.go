@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sys.Query(q)
+	rep, err := sys.QueryContext(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	// The full CH top-k shapes ship compiled: Q3 (join + ordered revenue)
 	// and Q18 (group-by + having + top-k).
 	for _, built := range []elastichtap.Query{elastichtap.Q3(db), elastichtap.Q18(db)} {
-		rep, err := sys.Query(built)
+		rep, err := sys.QueryContext(context.Background(), built)
 		if err != nil {
 			log.Fatal(err)
 		}

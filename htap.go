@@ -42,8 +42,9 @@
 //     values into the compiled predicate tests per execution, bitwise
 //     identical to rebinding with the values inlined.
 //
-// The synchronous methods (Query, QueryBatch, QueryInState) remain as
-// thin context.Background wrappers.
+// The synchronous wrappers (Query, QueryBatch, QueryInState) are
+// deprecated: pass a context to the Context variants instead so
+// cancellation and tenant attribution flow through.
 //
 // A multi-tenant workload manager (internal/workload) arbitrates between
 // sessions before any query reaches the scheduler. Tenants register with
@@ -440,18 +441,25 @@ func (s *System) Build(p *Plan) (Query, error) {
 // ErrNoDatabase before LoadCH. Query is QueryContext with a background
 // context; see also Submit for asynchronous sessions and Prepare for
 // parameterized statements.
+//
+// Deprecated: use QueryContext so cancellation and tenant attribution
+// flow in from the caller.
 func (s *System) Query(q Query) (QueryReport, error) {
 	return s.QueryContext(context.Background(), q)
 }
 
 // QueryInState executes the query with the system pinned to a state
 // (static schedules, A/B comparisons).
+//
+// Deprecated: use QueryInStateContext.
 func (s *System) QueryInState(q Query, st State) (QueryReport, error) {
 	return s.QueryInStateContext(context.Background(), q, st)
 }
 
 // QueryBatch executes a batch of queries over one shared snapshot with a
 // single ETL (the paper's query-batch class, §2.3/§4.2).
+//
+// Deprecated: use QueryBatchContext.
 func (s *System) QueryBatch(qs []Query) ([]QueryReport, error) {
 	return s.QueryBatchContext(context.Background(), qs)
 }

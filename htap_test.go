@@ -1,3 +1,7 @@
+//lint:file-ignore SA1019 this file exercises the deprecated synchronous
+// wrappers (Query, QueryInState, QueryBatch) and config shims on
+// purpose, pinning their behaviour until removal.
+
 package elastichtap
 
 import (

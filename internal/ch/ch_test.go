@@ -1,6 +1,7 @@
 package ch
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -172,7 +173,7 @@ func execOnActive(t *testing.T, db *DB, q olap.Query) olap.Result {
 	src := olap.Source{Table: tab, Parts: []olap.Part{
 		{Data: tab.Active(), Lo: 0, Hi: tab.Rows(), Socket: 0},
 	}}
-	res, _, err := e.Execute(q, src)
+	res, _, err := e.ExecuteContext(context.Background(), q, src)
 	if err != nil {
 		t.Fatal(err)
 	}

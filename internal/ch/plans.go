@@ -71,12 +71,12 @@ func Q3Plan(topN int) *query.Plan {
 	if topN <= 0 {
 		topN = 10
 	}
+	ol := query.Rel(TOrderLine)
+	orders := query.Rel(TOrders).Filter(query.Eq("o_carrier_id", 0))
 	return query.Scan(TOrderLine).
 		Named("Q3").
-		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
-		On("ol_d_id", "o_d_id").
-		On("ol_o_id", "o_id").
-		JoinFilter(query.Eq("o_carrier_id", 0)).
+		JoinGraph(query.JoinOn(ol, orders,
+			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
 		Agg(query.Sum("ol_amount").As("revenue")).
 		OrderBy("revenue", true).
@@ -89,12 +89,13 @@ func Q3Plan(topN int) *query.Plan {
 // aggregation. deliveredSince mirrors Q12.DeliveredSince.
 func Q12Plan(deliveredSince int64) *query.Plan {
 	highPriority := query.Between("o_carrier_id", 1, 2)
+	ol := query.Rel(TOrderLine)
+	orders := query.Rel(TOrders)
 	return query.Scan(TOrderLine).
 		Named("Q12").
 		Filter(query.Ge("ol_delivery_d", deliveredSince)).
-		Join(TOrders, "ol_w_id", "o_w_id", "o_carrier_id", "o_ol_cnt").
-		On("ol_d_id", "o_d_id").
-		On("ol_o_id", "o_id").
+		JoinGraph(query.JoinOn(ol, orders,
+			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 		GroupBy("o_ol_cnt").
 		Agg(
 			query.CountIf(highPriority).As("high_line_count"),
@@ -133,11 +134,12 @@ func Q19Plan(qtyLo, qtyHi int64, priceLo, priceHi float64) *query.Plan {
 	if priceHi == 0 {
 		priceLo, priceHi = 1, 100
 	}
+	ol := query.Rel(TOrderLine)
+	item := query.Rel(TItem).Filter(query.Between("i_price", priceLo, priceHi))
 	return query.Scan(TOrderLine).
 		Named("Q19").
 		Filter(query.Between("ol_quantity", qtyLo, qtyHi)).
-		SemiJoin(TItem, "ol_i_id", "i_id",
-			query.Between("i_price", priceLo, priceHi)).
+		JoinGraph(query.JoinOn(ol, item, "ol_i_id", "i_id")).
 		Agg(
 			query.Sum("ol_amount").As("revenue"),
 			query.Count().As("matches"),
@@ -199,12 +201,12 @@ func Q6Args(dateLo, dateHi, qtyLo, qtyHi int64) query.Args {
 // Q3PlanParam is Q3Plan with the carrier filter as a parameter; the
 // top-N limit is plan structure and stays fixed at Q3's default of 10.
 func Q3PlanParam() *query.Plan {
+	ol := query.Rel(TOrderLine)
+	orders := query.Rel(TOrders).Filter(query.Eq("o_carrier_id", query.Param("carrier")))
 	return query.Scan(TOrderLine).
 		Named("Q3").
-		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
-		On("ol_d_id", "o_d_id").
-		On("ol_o_id", "o_id").
-		JoinFilter(query.Eq("o_carrier_id", query.Param("carrier"))).
+		JoinGraph(query.JoinOn(ol, orders,
+			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
 		Agg(query.Sum("ol_amount").As("revenue")).
 		OrderBy("revenue", true).
@@ -221,12 +223,13 @@ func Q3Args(carrier int64) query.Args {
 // parameter; the priority brackets are fixed by the benchmark.
 func Q12PlanParam() *query.Plan {
 	highPriority := query.Between("o_carrier_id", 1, 2)
+	ol := query.Rel(TOrderLine)
+	orders := query.Rel(TOrders)
 	return query.Scan(TOrderLine).
 		Named("Q12").
 		Filter(query.Ge("ol_delivery_d", query.Param("delivered_since"))).
-		Join(TOrders, "ol_w_id", "o_w_id", "o_carrier_id", "o_ol_cnt").
-		On("ol_d_id", "o_d_id").
-		On("ol_o_id", "o_id").
+		JoinGraph(query.JoinOn(ol, orders,
+			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 		GroupBy("o_ol_cnt").
 		Agg(
 			query.CountIf(highPriority).As("high_line_count"),
@@ -264,11 +267,13 @@ func Q18Args(minRevenue float64) query.Args {
 // Q19PlanParam is Q19Plan with the quantity and price brackets as
 // parameters (the price pair lands on the semi-join's build side).
 func Q19PlanParam() *query.Plan {
+	ol := query.Rel(TOrderLine)
+	item := query.Rel(TItem).
+		Filter(query.Between("i_price", query.Param("price_lo"), query.Param("price_hi")))
 	return query.Scan(TOrderLine).
 		Named("Q19").
 		Filter(query.Between("ol_quantity", query.Param("qty_lo"), query.Param("qty_hi"))).
-		SemiJoin(TItem, "ol_i_id", "i_id",
-			query.Between("i_price", query.Param("price_lo"), query.Param("price_hi"))).
+		JoinGraph(query.JoinOn(ol, item, "ol_i_id", "i_id")).
 		Agg(
 			query.Sum("ol_amount").As("revenue"),
 			query.Count().As("matches"),
@@ -331,12 +336,12 @@ func (db *DB) PreparedPlan(name string) (*query.Compiled, error) {
 // carrier filter — the literal twin of Q3PlanParam, used by the golden
 // tests to compare stamped executions against fresh binds.
 func Q3PlanCarrier(carrier int64) *query.Plan {
+	ol := query.Rel(TOrderLine)
+	orders := query.Rel(TOrders).Filter(query.Eq("o_carrier_id", carrier))
 	return query.Scan(TOrderLine).
 		Named("Q3").
-		Join(TOrders, "ol_w_id", "o_w_id", "o_entry_d").
-		On("ol_d_id", "o_d_id").
-		On("ol_o_id", "o_id").
-		JoinFilter(query.Eq("o_carrier_id", carrier)).
+		JoinGraph(query.JoinOn(ol, orders,
+			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
 		Agg(query.Sum("ol_amount").As("revenue")).
 		OrderBy("revenue", true).

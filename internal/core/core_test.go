@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"elastichtap/internal/ch"
@@ -161,7 +162,7 @@ func TestRunQueryAdaptive(t *testing.T) {
 	// Small delta: hybrid state (S3-NI under the config), split access,
 	// no ETL.
 	sys.InjectTransactions(20)
-	rep2, _, err := sys.RunQuery(q, QueryOptions{}, nil)
+	rep2, _, err := sys.RunQueryContext(context.Background(), q, QueryOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestRunQueryAdaptive(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.InjectTransactions(10)
-	rep3, _, err := sys.RunQuery(q, QueryOptions{}, nil)
+	rep3, _, err := sys.RunQueryContext(context.Background(), q, QueryOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestRunQueryForcedStates(t *testing.T) {
 
 	var counts []float64
 	for _, st := range []State{S1, S2, S3IS, S3NI} {
-		rep, _, err := sys.RunQuery(q, QueryOptions{ForceState: ForcedState(st)}, nil)
+		rep, _, err := sys.RunQueryContext(context.Background(), q, QueryOptions{ForceState: ForcedState(st)}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func TestRunQueryForcedMethodFullRemote(t *testing.T) {
 	sys, db := newTestSystem(t)
 	sys.InjectTransactions(5)
 	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
-	rep, _, err := sys.RunQuery(q, QueryOptions{
+	rep, _, err := sys.RunQueryContext(context.Background(), q, QueryOptions{
 		ForceState:  ForcedState(S3IS),
 		ForceMethod: ForcedMethod(rde.ReadSnapshot),
 	}, nil)
@@ -256,7 +257,7 @@ func TestRunQueryForcedMethodFullRemote(t *testing.T) {
 
 func TestOLTPInterferenceReported(t *testing.T) {
 	sys, db := newTestSystem(t)
-	rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{ForceState: ForcedState(S1)}, nil)
+	rep, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{ForceState: ForcedState(S1)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,12 +273,12 @@ func TestOLTPInterferenceReported(t *testing.T) {
 func TestBatchSkipSwitchReusesSnapshot(t *testing.T) {
 	sys, db := newTestSystem(t)
 	q := db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0))
-	rep1, set, err := sys.RunQuery(q, QueryOptions{Batch: true}, nil)
+	rep1, set, err := sys.RunQueryContext(context.Background(), q, QueryOptions{Batch: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.InjectTransactions(10)
-	rep2, _, err := sys.RunQuery(q, QueryOptions{Batch: true, SkipSwitch: true}, set)
+	rep2, _, err := sys.RunQueryContext(context.Background(), q, QueryOptions{Batch: true, SkipSwitch: true}, set)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestFuzzRandomScheduleEquivalence(t *testing.T) {
 		if st == S3IS && rng.Intn(2) == 0 {
 			opt.ForceMethod = ForcedMethod(rde.ReadSnapshot)
 		}
-		rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), opt, nil)
+		rep, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), opt, nil)
 		if err != nil {
 			t.Fatalf("step %d (%v): %v", step, st, err)
 		}
@@ -77,7 +78,7 @@ func TestFuzzConcurrentQueriesAndTransactions(t *testing.T) {
 
 	var last float64
 	for i := 0; i < 6; i++ {
-		rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
+		rep, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,8 @@ import (
 // migrateS1 trades `elastic` cores between the sockets: the OLTP engine
 // cedes that many data-local cores to OLAP and receives the same number on
 // the OLAP socket, never dropping below the per-socket CPU floor.
+//
+//htap:locked mu
 func (s *Scheduler) migrateS1(elastic int) {
 	cfg := s.ledger.Config()
 	oltpS, olapS := s.oltpSocket, s.olapSocket
@@ -30,6 +32,8 @@ func (s *Scheduler) migrateS1(elastic int) {
 // migrateS2 gives each engine whole sockets per the administrator policy:
 // the OLTP engine keeps OLTPSockThres sockets (at least its home socket),
 // the OLAP engine receives the rest.
+//
+//htap:locked mu
 func (s *Scheduler) migrateS2() {
 	sockets := s.ledger.Config().Sockets
 	granted := 0
@@ -48,6 +52,8 @@ func (s *Scheduler) migrateS2() {
 // migrateS3 covers both hybrid variants: ISOLATED keeps the S2 core
 // layout (socket-level isolation, remote/split reads); NON-ISOLATED lends
 // `elastic` OLTP cores to the OLAP engine on the OLTP socket.
+//
+//htap:locked mu
 func (s *Scheduler) migrateS3(isolated bool, elastic int) {
 	if isolated {
 		s.migrateS2()
@@ -68,6 +74,8 @@ func (s *Scheduler) migrateS3(isolated bool, elastic int) {
 
 // assignSplit gives the first n cores of the socket to `first` and the
 // rest to `second`.
+//
+//htap:locked mu
 func (s *Scheduler) assignSplit(socket, n int, first, second topology.Engine) {
 	cfg := s.ledger.Config()
 	for i := 0; i < cfg.CoresPerSocket; i++ {
@@ -81,6 +89,7 @@ func (s *Scheduler) assignSplit(socket, n int, first, second topology.Engine) {
 	}
 }
 
+//htap:locked mu
 func (s *Scheduler) mustAssignSocket(socket int, e topology.Engine) {
 	if err := s.ledger.AssignSocket(socket, e); err != nil {
 		panic(err)
@@ -90,6 +99,8 @@ func (s *Scheduler) mustAssignSocket(socket int, e topology.Engine) {
 // fillOtherSockets assigns sockets beyond the engine pair (4-socket
 // machines) to the OLAP engine, matching Figure 1's setup where the two
 // engines occupy two sockets and the rest idle under OLAP ownership.
+//
+//htap:locked mu
 func (s *Scheduler) fillOtherSockets() {
 	for sock := 0; sock < s.ledger.Config().Sockets; sock++ {
 		if sock != s.oltpSocket && sock != s.olapSocket {

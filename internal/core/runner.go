@@ -306,12 +306,6 @@ func (s *System) admitQuery(ctx context.Context, q olap.Query, opt QueryOptions,
 	return adm, nil
 }
 
-// RunQuery is RunQueryContext with a background context — the original
-// synchronous entry point, kept for callers with no cancellation needs.
-func (s *System) RunQuery(q olap.Query, opt QueryOptions, snap *rde.SnapshotSet) (QueryReport, *rde.SnapshotSet, error) {
-	return s.RunQueryContext(context.Background(), q, opt, snap)
-}
-
 // RunQueryContext drives the full per-query protocol of §3.4: switch and
 // sync the OLTP instances, measure freshness, decide and migrate state
 // (Algorithms 1+2), optionally ETL, build the access path, execute for

@@ -11,14 +11,18 @@ import (
 // (Algorithm 2) and enforces it on the core ledger (Algorithm 1). It is
 // safe for concurrent use — queries admit and migrate from any goroutine.
 type Scheduler struct {
+	// ledger is the core-ownership ledger. Migrations mutate it
+	// core-by-core, so reads outside mu can observe half-applied
+	// layouts.
+	//htap:guardedby mu
 	ledger *topology.Ledger
 
 	oltpSocket, olapSocket int
 
 	mu        sync.Mutex
-	cfg       Config
-	state     State
-	onMigrate func(State, topology.Placement, topology.Placement)
+	cfg       Config                                              //htap:guardedby mu
+	state     State                                               //htap:guardedby mu
+	onMigrate func(State, topology.Placement, topology.Placement) //htap:guardedby mu
 }
 
 // NewScheduler builds a scheduler over the ledger. The system boots in S2,
@@ -128,11 +132,15 @@ func (s *Scheduler) MigrateTo(st State) {
 
 // OLTPPlacement returns the OLTP engine's core allocation.
 func (s *Scheduler) OLTPPlacement() topology.Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ledger.PlacementOf(topology.OLTP)
 }
 
 // OLAPPlacement returns the OLAP engine's core allocation.
 func (s *Scheduler) OLAPPlacement() topology.Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ledger.PlacementOf(topology.OLAP)
 }
 

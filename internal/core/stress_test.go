@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -41,7 +42,7 @@ func TestStressContendedWorkers(t *testing.T) {
 		}(w)
 	}
 	for i := 0; i < 6; i++ {
-		if _, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
+		if _, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func TestStressQueriesRunAndMigrationsConcurrently(t *testing.T) {
 				if i%2 == 1 {
 					opt.ForceState = ForcedState([]State{S1, S2, S3IS, S3NI}[(g+i)%4])
 				}
-				rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), opt, nil)
+				rep, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), opt, nil)
 				if err != nil {
 					errCh <- err
 					return

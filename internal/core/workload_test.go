@@ -17,7 +17,7 @@ import (
 func TestDefaultTenantImplicit(t *testing.T) {
 	sys, db := newTestSystem(t)
 	defer sys.Close()
-	rep, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
+	rep, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestZeroQuotaTenantOverloaded(t *testing.T) {
 		t.Fatalf("overload metadata = %+v (err %v)", oe, err)
 	}
 	// The default tenant is unaffected.
-	if _, _, err := sys.RunQuery(db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
+	if _, _, err := sys.RunQueryContext(context.Background(), db.Stamped("Q6", ch.Q6Args(0, 0, 0, 0)), QueryOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -248,7 +249,7 @@ func TestMetricsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Sys.InjectTransactions(20)
-	if _, _, err := env.Sys.RunQuery(env.Q6(), core.QueryOptions{}, nil); err != nil {
+	if _, _, err := env.Sys.RunQueryContext(context.Background(), env.Q6(), core.QueryOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	m := env.Sys.Metrics()

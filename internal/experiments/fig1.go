@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"elastichtap/internal/ch"
@@ -65,7 +66,7 @@ func figure1ETL(opt Options, freq int) (Fig1Row, error) {
 			if set != nil {
 				o.SkipSwitch = true
 			}
-			rep, out, err := env.Sys.RunQuery(env.Q6(), o, set)
+			rep, out, err := env.Sys.RunQueryContext(context.Background(), env.Q6(), o, set)
 			if err != nil {
 				return row, err
 			}
@@ -109,7 +110,7 @@ func figure1CoW(opt Options, freq int) (Fig1Row, error) {
 			if set != nil {
 				o.SkipSwitch = true
 			}
-			rep, out, err := env.Sys.RunQuery(env.Q6(), o, set)
+			rep, out, err := env.Sys.RunQueryContext(context.Background(), env.Q6(), o, set)
 			if err != nil {
 				return row, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"elastichtap/internal/core"
 	"elastichtap/internal/olap"
 	"elastichtap/internal/rde"
@@ -74,7 +75,7 @@ func sensitivityPoint(env *Env, q olap.Query, st core.State, reps int) (Fig3aRow
 	var row Fig3aRow
 	var sumResp, sumBase, sumDuring float64
 	for i := 0; i < reps; i++ {
-		rep, _, err := env.Sys.RunQuery(q, core.QueryOptions{
+		rep, _, err := env.Sys.RunQueryContext(context.Background(), q, core.QueryOptions{
 			ForceState: core.ForcedState(st),
 		}, nil)
 		if err != nil {
@@ -131,7 +132,7 @@ func Figure3b(opt Options) ([]Fig3bRow, error) {
 					if set != nil {
 						o.SkipSwitch = true
 					}
-					rep, out, err := env.Sys.RunQuery(env.Q6(), o, set)
+					rep, out, err := env.Sys.RunQueryContext(context.Background(), env.Q6(), o, set)
 					if err != nil {
 						return Fig3bRow{}, err
 					}

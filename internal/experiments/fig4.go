@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"elastichtap/internal/core"
 	"elastichtap/internal/rde"
 )
@@ -47,21 +48,21 @@ func Figure4(opt Options) ([]Fig4Row, error) {
 		n := hybrid.InjectFor(stepSimSecs, hybrid.Sys.OLTPThroughputNow())
 		s2env.Sys.InjectTransactions(n)
 
-		split, _, err := hybrid.Sys.RunQuery(hybrid.Q1(), core.QueryOptions{
+		split, _, err := hybrid.Sys.RunQueryContext(context.Background(), hybrid.Q1(), core.QueryOptions{
 			ForceState:  core.ForcedState(core.S3IS),
 			ForceMethod: core.ForcedMethod(rde.ReadSplit),
 		}, nil)
 		if err != nil {
 			return nil, err
 		}
-		full, _, err := hybrid.Sys.RunQuery(hybrid.Q1(), core.QueryOptions{
+		full, _, err := hybrid.Sys.RunQueryContext(context.Background(), hybrid.Q1(), core.QueryOptions{
 			ForceState:  core.ForcedState(core.S3IS),
 			ForceMethod: core.ForcedMethod(rde.ReadSnapshot),
 		}, nil)
 		if err != nil {
 			return nil, err
 		}
-		s2, _, err := s2env.Sys.RunQuery(s2env.Q1(), core.QueryOptions{
+		s2, _, err := s2env.Sys.RunQueryContext(context.Background(), s2env.Q1(), core.QueryOptions{
 			ForceState: core.ForcedState(core.S2),
 		}, nil)
 		if err != nil {

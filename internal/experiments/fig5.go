@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"elastichtap/internal/core"
@@ -130,7 +131,7 @@ func runSchedule(opt Options, sched Schedule, sequences int) (Fig5Series, error)
 		var tputSum float64
 		queries := env.Queries()
 		for _, q := range queries {
-			rep, _, err := env.Sys.RunQuery(q, core.QueryOptions{ForceState: force}, nil)
+			rep, _, err := env.Sys.RunQueryContext(context.Background(), q, core.QueryOptions{ForceState: force}, nil)
 			if err != nil {
 				return series, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -108,7 +109,7 @@ func runOrdered(eng *olap.Engine, q olap.Query, src olap.Source, reps int) (olap
 	ms := make([]float64, 0, reps)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		r, st, err := eng.Execute(q, src)
+		r, st, err := eng.ExecuteContext(context.Background(), q, src)
 		if err != nil {
 			return olap.Result{}, olap.Stats{}, 0, err
 		}

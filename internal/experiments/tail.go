@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"elastichtap/internal/core"
 	"elastichtap/internal/costmodel"
 )
@@ -32,7 +33,7 @@ func TailLatency(opt Options) ([]TailRow, error) {
 				return TailRow{}, err
 			}
 			env.InjectFor(10, env.Sys.OLTPThroughputNow())
-			rep, _, err := env.Sys.RunQuery(env.Q6(), core.QueryOptions{
+			rep, _, err := env.Sys.RunQueryContext(context.Background(), env.Q6(), core.QueryOptions{
 				ForceState: core.ForcedState(st),
 			}, nil)
 			if err != nil {

@@ -16,7 +16,6 @@
 package index
 
 import (
-	"sort"
 	"sync"
 
 	"elastichtap/internal/bitset"
@@ -68,6 +67,8 @@ func (p Postings) ForEach(fn func(row int64)) {
 }
 
 // AnyInRange reports whether the postings contain a row in [lo, hi).
+//
+//htap:hotpath
 func (p Postings) AnyInRange(lo, hi int64) bool {
 	if lo >= hi {
 		return false
@@ -75,7 +76,17 @@ func (p Postings) AnyInRange(lo, hi int64) bool {
 	if p.bits != nil {
 		return p.bits.AnyInRange(int(lo), int(hi))
 	}
-	i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i] >= lo })
+	// Hand-rolled binary search: the morsel-skip path probes this per
+	// block, and a sort.Search closure is a heap allocation there.
+	i, j := 0, len(p.rows)
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if p.rows[mid] < lo {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
 	return i < len(p.rows) && p.rows[i] < hi
 }
 
@@ -94,6 +105,7 @@ type Set struct {
 	t  *columnar.Table
 	mu sync.Mutex
 	// cols is sized to the schema; entries are nil until first demanded.
+	//htap:guardedby mu
 	cols []*colIndex
 }
 
@@ -155,6 +167,8 @@ func (s *Set) Refresh() {
 }
 
 // ensure returns column col's index state, allocating it on first demand.
+//
+//htap:locked mu
 func (s *Set) ensure(col int) *colIndex {
 	if ci := s.cols[col]; ci != nil {
 		return ci
@@ -176,6 +190,8 @@ func (s *Set) ensure(col int) *colIndex {
 // counter forces a rebuild from row zero, otherwise the index extends
 // incrementally from its watermark. It reports whether the index is
 // usable afterwards.
+//
+//htap:locked mu
 func (s *Set) refresh(col int, ci *colIndex) bool {
 	for attempt := 0; ; attempt++ {
 		cur := s.t.ColumnUpdateCount(col)
@@ -227,6 +243,8 @@ func (s *Set) refresh(col int, ci *colIndex) bool {
 }
 
 // kill marks a column unindexable and releases its postings.
+//
+//htap:locked mu
 func (s *Set) kill(ci *colIndex) {
 	ci.dead = true
 	ci.bitmap = nil

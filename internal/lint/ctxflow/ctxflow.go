@@ -1,0 +1,275 @@
+// Package ctxflow enforces the engine's cancellation contract in two
+// rules. First, library code must not mint its own roots: calls to
+// context.Background() or context.TODO() are errors outside package
+// main, experiments and tests — a context must flow in from the caller
+// or the work it scopes cannot be cancelled. Second, in the packages
+// that make up the public blocking surface (the root API plus
+// internal/core, internal/olap and internal/workload), an exported
+// function or method that blocks directly — a channel operation, a
+// select without default, a sync.Cond or sync.WaitGroup Wait — must
+// accept a context.Context parameter.
+//
+// Exemptions keep the rule honest rather than noisy: functions marked
+// Deprecated: may wrap Background for compatibility; Close methods
+// block by convention during shutdown; and completion observers —
+// methods that only receive from the receiver's own channel fields on a
+// type that also offers Done() <-chan struct{} — already give callers a
+// select-able escape hatch.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"elastichtap/internal/lint"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require context plumbing on blocking API and forbid context.Background in library code",
+	Run:  run,
+}
+
+// blockingSurface lists the packages whose exported blocking functions
+// must take a context. Packages outside the module (analyzer testdata)
+// are always in scope.
+var blockingSurface = map[string]bool{
+	"elastichtap":                   true,
+	"elastichtap/internal/core":     true,
+	"elastichtap/internal/olap":     true,
+	"elastichtap/internal/workload": true,
+}
+
+func run(pass *lint.Pass) error {
+	path := pass.Pkg.Path()
+	inModule := path == "elastichtap" || strings.HasPrefix(path, "elastichtap/")
+	checkRoots := pass.Pkg.Name() != "main" && !strings.Contains(path, "/experiments")
+	checkBlocking := blockingSurface[path] || !inModule
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lint.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			deprecated := isDeprecated(fd.Doc)
+			if checkRoots && !deprecated {
+				checkNoRoots(pass, fd, fn)
+			}
+			if checkBlocking && !deprecated {
+				checkBlockingFunc(pass, fd, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNoRoots flags context.Background()/context.TODO() calls.
+func checkNoRoots(pass *lint.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lint.FuncFor(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		if name := callee.Name(); name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(), "%s calls context.%s; accept a context.Context from the caller instead", fn.Name(), name)
+		}
+		return true
+	})
+}
+
+// checkBlockingFunc flags exported, directly-blocking functions that
+// take no context.
+func checkBlockingFunc(pass *lint.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	if !fd.Name.IsExported() || fd.Name.Name == "Close" || hasContextParam(fn) {
+		return
+	}
+	if recv := lint.ReceiverType(fn); recv != nil && !recv.Exported() {
+		return
+	}
+	sites := blockingSites(pass.TypesInfo, fd)
+	if len(sites) == 0 {
+		return
+	}
+	if completionObserver(pass, fd, fn, sites) {
+		return
+	}
+	pass.Reportf(sites[0].pos, "exported %s blocks (%s) but has no context.Context parameter", fn.Name(), sites[0].what)
+}
+
+type site struct {
+	pos  token.Pos
+	what string
+	// ownRecv is the receiver-field channel expression the site blocks
+	// on, when the block is a pure receive from one; nil otherwise.
+	ownRecv ast.Expr
+}
+
+// blockingSites collects the directly blocking constructs in a body.
+// Function literals are skipped (a goroutine's blocking is its own),
+// and channel operations in a select's case headers belong to the
+// select — with a default case the whole statement is non-blocking.
+func blockingSites(info *types.Info, fd *ast.FuncDecl) []site {
+	var sites []site
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			sites = append(sites, site{n.Pos(), "channel send", nil})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				sites = append(sites, site{n.Pos(), "channel receive", ast.Unparen(n.X)})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					sites = append(sites, site{n.Pos(), "range over channel", ast.Unparen(n.X)})
+				}
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					blocking = false
+				}
+			}
+			if blocking {
+				sites = append(sites, site{n.Pos(), "select without default", nil})
+			}
+			for _, c := range n.Body.List {
+				for _, stmt := range c.(*ast.CommClause).Body {
+					ast.Inspect(stmt, walk)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && se.Sel.Name == "Wait" {
+				if t := info.TypeOf(se.X); isSyncBlocker(t) {
+					sites = append(sites, site{n.Pos(), "sync." + syncName(t) + ".Wait", nil})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return sites
+}
+
+// completionObserver reports whether every blocking site is a receive
+// from a field of the receiver and the receiver type offers
+// Done() <-chan struct{}: the method is a convenience wrapper callers
+// can always replace with their own select over Done().
+func completionObserver(pass *lint.Pass, fd *ast.FuncDecl, fn *types.Func, sites []site) bool {
+	recvName := receiverName(fd)
+	if recvName == "" || !hasDoneMethod(fn) {
+		return false
+	}
+	for _, s := range sites {
+		se, ok := s.ownRecv.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		base, ok := ast.Unparen(se.X).(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return false
+		}
+		if sel, ok := pass.TypesInfo.Selections[se]; !ok || sel.Kind() != types.FieldVal {
+			return false
+		}
+	}
+	return true
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// hasDoneMethod reports whether the receiver type has a method
+// Done() <-chan struct{}.
+func hasDoneMethod(fn *types.Func) bool {
+	recv := lint.ReceiverType(fn)
+	if recv == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(recv.Type()), true, fn.Pkg(), "Done")
+	m, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := m.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	ch, ok := sig.Results().At(0).Type().Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	_, ok = ch.Elem().Underlying().(*types.Struct)
+	return ok
+}
+
+func hasContextParam(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSyncBlocker(t types.Type) bool { return syncName(t) != "" }
+
+// syncName returns "Cond" or "WaitGroup" when t is that sync type (or a
+// pointer to it), else "".
+func syncName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if n := obj.Name(); n == "Cond" || n == "WaitGroup" {
+		return n
+	}
+	return ""
+}
+
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " "), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

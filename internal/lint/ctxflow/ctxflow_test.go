@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"elastichtap/internal/lint/ctxflow"
+	"elastichtap/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ".", ctxflow.Analyzer, "a")
+}

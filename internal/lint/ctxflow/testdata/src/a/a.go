@@ -1,0 +1,70 @@
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func fetch() {
+	ctx := context.Background() // want `fetch calls context.Background`
+	_ = ctx
+}
+
+func todo() context.Context {
+	return context.TODO() // want `todo calls context.TODO`
+}
+
+// Deprecated: use a Context-taking variant.
+func FetchCompat() {
+	_ = context.Background() // deprecated shim: no report
+}
+
+type Queue struct {
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (q *Queue) Pop() int {
+	return <-q.ch // want `exported Pop blocks \(channel receive\) but has no context.Context parameter`
+}
+
+func (q *Queue) PopContext(ctx context.Context) (int, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+func (q *Queue) Flush() {
+	q.wg.Wait() // want `exported Flush blocks \(sync.WaitGroup.Wait\)`
+}
+
+func (q *Queue) TryPop() (int, bool) {
+	select { // has a default case: non-blocking, no report
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (q *Queue) Close() {
+	<-q.done // Close blocks by convention: no report
+}
+
+func (q *Queue) pop() int {
+	return <-q.ch // unexported: no report
+}
+
+type Handle struct {
+	done chan struct{}
+}
+
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+func (h *Handle) Wait() {
+	<-h.done // completion observer over own Done channel: no report
+}

@@ -1,0 +1,68 @@
+// Package detmerge keeps //htap:deterministic functions free of
+// iteration-order and scheduling nondeterminism. The engine promises
+// bitwise-stable query results regardless of worker count or morsel
+// interleaving; the merge and result-assembly stages deliver that by
+// iterating insertion-order slices and sorting explicit permutations.
+// A map range, a select statement or a spawned goroutine inside one of
+// those functions reintroduces run-to-run variance, so all three are
+// errors here.
+//
+// The check is body-only: helpers a deterministic function calls are
+// annotated (and checked) individually, which keeps the rule local and
+// the failure message on the offending construct.
+package detmerge
+
+import (
+	"go/ast"
+	"go/types"
+
+	"elastichtap/internal/lint"
+)
+
+// Analyzer is the detmerge check.
+var Analyzer = &lint.Analyzer{
+	Name: "detmerge",
+	Doc:  "forbid map ranges, selects and goroutine spawns in //htap:deterministic functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	notes := pass.Annotations()
+	if len(notes.Deterministic) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !notes.Deterministic[fn] {
+				continue
+			}
+			checkBody(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic in //htap:deterministic %s", fn.Name())
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select chooses ready cases at random in //htap:deterministic %s", fn.Name())
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine interleaving is nondeterministic in //htap:deterministic %s", fn.Name())
+		}
+		return true
+	})
+}

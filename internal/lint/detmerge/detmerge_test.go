@@ -1,0 +1,12 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"elastichtap/internal/lint/detmerge"
+	"elastichtap/internal/lint/linttest"
+)
+
+func TestDetmerge(t *testing.T) {
+	linttest.Run(t, ".", detmerge.Analyzer, "a")
+}

@@ -1,0 +1,34 @@
+package a
+
+//htap:deterministic
+func mergeCounts(dst, src map[string]int64, keys []string) {
+	for k, v := range src { // want `map iteration order is nondeterministic`
+		dst[k] += v
+	}
+	for _, k := range keys { // slice order is stable: no report
+		dst[k]++
+	}
+}
+
+//htap:deterministic
+func await(a, b chan int) int {
+	select { // want `select chooses ready cases at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//htap:deterministic
+func spawn(f func()) {
+	go f() // want `goroutine interleaving is nondeterministic`
+}
+
+func unannotated(m map[string]int) int {
+	n := 0
+	for range m { // not deterministic-annotated: no report
+		n++
+	}
+	return n
+}

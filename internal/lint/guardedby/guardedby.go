@@ -1,0 +1,190 @@
+// Package guardedby checks that struct fields annotated
+// //htap:guardedby <mu> are only touched by functions that hold the
+// named mutex: scheduler placements, pool rings, tenant queues and the
+// prepared-statement cache all carry the annotation, so a new code path
+// reading them lock-free fails the build instead of racing.
+//
+// The analysis is flow-insensitive and keyed by lock identity rather
+// than lock instance: a function "holds" (T, mu) if it calls
+// <expr>.mu.Lock() or .RLock() on any expression of type T, or is
+// annotated //htap:locked mu (callers then must hold the mutex at every
+// call site). Accesses through a local built from a composite literal
+// in the same function are exempt — no other goroutine can reach an
+// object still under construction. Test files are skipped.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+
+	"elastichtap/internal/lint"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc:  "check //htap:guardedby fields are accessed only under their mutex",
+	Run:  run,
+}
+
+// lockKey identifies a mutex by owner type and field name.
+type lockKey struct {
+	owner *types.TypeName
+	field string
+}
+
+func key(ref lint.MutexRef) lockKey { return lockKey{ref.Type, ref.Field} }
+
+func run(pass *lint.Pass) error {
+	notes := pass.Annotations()
+	if len(notes.GuardedBy) == 0 && len(notes.Locked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lint.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkFunc(pass, notes, fd, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, notes *lint.Notes, fd *ast.FuncDecl, fn *types.Func) {
+	info := pass.TypesInfo
+	held := map[lockKey]bool{}
+	for _, ref := range notes.Locked[fn] {
+		held[key(ref)] = true
+	}
+	ctor := map[*types.Var]bool{}
+
+	// Pass 1: lock acquisitions and constructor locals anywhere in the
+	// body (flow-insensitive; defer Unlock keeps most functions honest).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if owner, field, ok := lockCall(info, n); ok {
+				held[lockKey{owner, field}] = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				if !isCompositeLit(rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						ctor[v] = true
+					} else if v, ok := info.Uses[id].(*types.Var); ok {
+						ctor[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: guarded-field accesses and calls to locked functions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			fieldVar, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			ref, guarded := notes.GuardedBy[fieldVar]
+			if !guarded || held[key(ref)] || underConstruction(info, ctor, n.X) {
+				return true
+			}
+			pass.Reportf(n.Sel.Pos(), "%s accesses field %s (//htap:guardedby %s) without holding %s",
+				fn.Name(), fieldVar.Name(), ref, ref)
+		case *ast.CallExpr:
+			callee := lint.FuncFor(info, n)
+			if callee == nil {
+				return true
+			}
+			refs, ok := notes.Locked[callee]
+			if !ok {
+				return true
+			}
+			var recv ast.Expr
+			if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				recv = se.X
+			}
+			for _, ref := range refs {
+				if held[key(ref)] {
+					continue
+				}
+				if recv != nil && underConstruction(info, ctor, recv) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "%s calls %s (//htap:locked %s) without holding %s",
+					fn.Name(), callee.Name(), ref, ref)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall matches <expr>.<mu>.Lock() / .RLock() and resolves the mutex
+// owner's named type and the mutex field name.
+func lockCall(info *types.Info, call *ast.CallExpr) (*types.TypeName, string, bool) {
+	method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
+		return nil, "", false
+	}
+	mux, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	owner := namedOf(info.TypeOf(mux.X))
+	if owner == nil {
+		return nil, "", false
+	}
+	return owner, mux.Sel.Name, true
+}
+
+// underConstruction reports whether the access base is (a chain rooted
+// at) a local initialized from a composite literal in this function.
+func underConstruction(info *types.Info, ctor map[*types.Var]bool, x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if id, ok := x.(*ast.Ident); ok {
+		v, ok := info.Uses[id].(*types.Var)
+		return ok && ctor[v]
+	}
+	return false
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}
+
+func namedOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

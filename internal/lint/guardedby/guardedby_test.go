@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"elastichtap/internal/lint/guardedby"
+	"elastichtap/internal/lint/linttest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, ".", guardedby.Analyzer, "a")
+}

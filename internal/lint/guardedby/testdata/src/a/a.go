@@ -1,0 +1,66 @@
+package a
+
+import "sync"
+
+type Engine struct {
+	mu sync.Mutex
+	// queue holds pending work items.
+	//htap:guardedby mu
+	queue []int
+	// closed is sticky once set.
+	closed bool //htap:guardedby mu
+}
+
+func (e *Engine) Push(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue = append(e.queue, v)
+}
+
+func (e *Engine) badLen() int {
+	return len(e.queue) // want `accesses field queue \(//htap:guardedby Engine.mu\) without holding Engine.mu`
+}
+
+func (e *Engine) badClose() {
+	e.closed = true // want `accesses field closed`
+}
+
+//htap:locked mu
+func (e *Engine) drainLocked() {
+	e.queue = e.queue[:0]
+}
+
+func (e *Engine) badDrain() {
+	e.drainLocked() // want `calls drainLocked \(//htap:locked Engine.mu\) without holding Engine.mu`
+}
+
+func (e *Engine) goodDrain() {
+	e.mu.Lock()
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.queue = make([]int, 0, 8) // under construction: no report
+	return e
+}
+
+type worker struct {
+	eng *Engine
+}
+
+//htap:locked Engine.mu
+func (w *worker) stepLocked() {
+	w.eng.queue = w.eng.queue[:0]
+}
+
+func (w *worker) badStep() {
+	w.stepLocked() // want `calls stepLocked`
+}
+
+func (w *worker) goodStep() {
+	w.eng.mu.Lock()
+	w.stepLocked()
+	w.eng.mu.Unlock()
+}

@@ -1,0 +1,256 @@
+// Package hotalloc reports heap allocations reachable from functions
+// annotated //htap:hotpath: the per-morsel kernel loops, fused
+// specializations, DRR dispatch and index probes whose steady state the
+// runtime alloc-regression tests pin to zero. The analyzer walks the
+// static same-package call graph from every hot root and flags
+// allocation sites — make, new, append, map/slice/escaping composite
+// literals, closures, goroutine spawns, string building and interface
+// boxing of non-pointer values — in every function reached.
+//
+// //htap:coldpath stops the traversal: growth and setup work that
+// amortizes to zero per morsel (table doubling, lazy dense arrays,
+// scratch acquisition) lives behind cold helpers, keeping them out of
+// the invariant without excusing the hot loop itself. Calls that cannot
+// be resolved statically (interface dispatch, function values,
+// cross-package calls) are not followed; cross-package hot callees are
+// annotated and checked in their own package.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"elastichtap/internal/lint"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "report heap allocations in //htap:hotpath functions and their static callees",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	notes := pass.Annotations()
+	if len(notes.Hot) == 0 {
+		return nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	checked := map[*types.Func]bool{}
+	var visit func(fn *types.Func, root *types.Func)
+	visit = func(fn, root *types.Func) {
+		if checked[fn] || notes.Cold[fn] {
+			return
+		}
+		checked[fn] = true
+		decl := decls[fn]
+		if decl == nil {
+			return // declared in another file set (assembly, cross-package)
+		}
+		checkBody(pass, decl, fn, root)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lint.FuncFor(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			visit(callee, root)
+			return true
+		})
+	}
+	for fn := range notes.Hot {
+		visit(fn, fn)
+	}
+	return nil
+}
+
+// checkBody reports every allocation site in one function body.
+func checkBody(pass *lint.Pass, decl *ast.FuncDecl, fn, root *types.Func) {
+	info := pass.TypesInfo
+	suffix := ""
+	if root != fn {
+		suffix = " (reached from //htap:hotpath " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "heap allocation in hot path %s: %s%s", fn.Name(), what, suffix)
+	}
+
+	// Function expressions of calls don't themselves allocate (method
+	// values used as call targets bind no closure).
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(lit.Pos(), "composite literal escapes via &")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure)")
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if b, ok := info.TypeOf(n).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					report(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[ast.Expr(n)] {
+				report(n.Pos(), "method value (closure)")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && len(n.Rhs) == len(n.Lhs) {
+					if t := info.TypeOf(n.Lhs[i]); boxes(info, t, rhs) {
+						report(rhs.Pos(), "interface boxing on assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := fn.Type().(*types.Signature)
+			if sig.Results().Len() == len(n.Results) {
+				for i, r := range n.Results {
+					if boxes(info, sig.Results().At(i).Type(), r) {
+						report(r.Pos(), "interface boxing on return")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, allocating conversions, and
+// interface boxing of arguments.
+func checkCall(pass *lint.Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: string <-> []byte/[]rune copy, or boxing into an
+		// interface type.
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			if isStringBytesConv(dst, src) {
+				report(call.Pos(), "string conversion copies")
+			}
+			if boxes(info, dst, call.Args[0]) {
+				report(call.Pos(), "interface boxing by conversion")
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			report(arg.Pos(), "interface boxing of argument")
+		}
+	}
+}
+
+// boxes reports whether assigning src to an interface-typed destination
+// heap-allocates: the source is a concrete non-nil value that is not
+// pointer-shaped (pointers, channels, maps and funcs store directly in
+// the interface word).
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return false
+	}
+	switch u := st.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.Invalid {
+			return false
+		}
+	}
+	return true
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteSlice(src)) || (isByteSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"elastichtap/internal/lint/hotalloc"
+	"elastichtap/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, ".", hotalloc.Analyzer, "a")
+}

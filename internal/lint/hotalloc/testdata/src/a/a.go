@@ -1,0 +1,68 @@
+package a
+
+type sink struct {
+	vals []int64
+	n    int
+}
+
+//htap:coldpath
+func (s *sink) grow() {
+	s.vals = append(s.vals, 0) // cold: amortized growth is allowed
+}
+
+func (s *sink) emit(v int64) {
+	s.vals = append(s.vals, v) // want `append may grow its backing array`
+}
+
+//htap:hotpath
+func (s *sink) push(v int64) {
+	if len(s.vals) == cap(s.vals) {
+		s.grow()
+	}
+	s.emit(v)
+}
+
+//htap:hotpath
+func build(n int) []int64 {
+	buf := make([]int64, n) // want `heap allocation in hot path build: make`
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	return buf
+}
+
+func take(x any)     {}
+func varg(xs ...any) {}
+
+//htap:hotpath
+func boxArg(v int64, p *sink) {
+	take(v) // want `interface boxing of argument`
+	take(p) // pointer-shaped: stored directly, no report
+	varg(v) // want `interface boxing of argument`
+}
+
+//htap:hotpath
+func boxReturn(v int64) any {
+	return v // want `interface boxing on return`
+}
+
+//htap:hotpath
+func grabBag(a, b string, v int64) {
+	_ = a + b              // want `string concatenation`
+	_ = []int64{v}         // want `slice literal`
+	_ = map[string]int64{} // want `map literal`
+	p := &sink{}           // want `composite literal escapes via &`
+	f := p.grow            // want `method value \(closure\)`
+	f()
+	g := func() {} // want `function literal \(closure\)`
+	go g()         // want `go statement`
+	var x any
+	x = v      // want `interface boxing on assignment`
+	x = any(v) // want `interface boxing by conversion`
+	_ = x
+	_ = []byte(a) // want `string conversion copies`
+}
+
+func colder() {
+	_ = make([]int64, 8) // not reachable from a hot root: no report
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load resolves the patterns (e.g. "./...") with the go command and
+// type-checks every non-test source file of each matched package. A
+// single source-mode importer is shared across packages, so common
+// dependencies type-check once.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errBuf.Bytes())
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks one package from explicit file paths.
+// linttest drives it directly over testdata trees the go command never
+// sees.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: srcImporter{imp, dir}}
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// srcImporter adapts the source-mode importer to resolve module-local
+// import paths relative to the package under analysis (ImporterFrom
+// needs a source directory; plain Import gives it none).
+type srcImporter struct {
+	imp types.Importer
+	dir string
+}
+
+func (s srcImporter) Import(path string) (*types.Package, error) {
+	if from, ok := s.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, s.dir, 0)
+	}
+	return s.imp.Import(path)
+}
+
+// Run applies the analyzers to the package and returns the collected
+// diagnostics in source order of reporting.
+func (p *Package) Run(analyzers []*Analyzer) ([]Finding, error) {
+	var found []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.TypesInfo,
+		}
+		pass.Report = func(d Diagnostic) {
+			found = append(found, Finding{Analyzer: a.Name, Pos: p.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, p.ImportPath, err)
+		}
+	}
+	return found, nil
+}
+
+// Finding is one diagnostic with its analyzer and resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}

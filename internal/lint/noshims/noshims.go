@@ -1,0 +1,70 @@
+// Package noshims finishes the retirement of the linear join-chain
+// API. Plan.Join, Plan.SemiJoin, Plan.On and Plan.JoinFilter are
+// Deprecated: shims over the graph API (query.Rel / query.JoinOn /
+// Plan.JoinGraph) and compile identically to a one-edge graph, so any
+// remaining caller can migrate mechanically. This analyzer makes the
+// migration one-way: calls to the shims are errors everywhere except
+// the query package itself (which implements them) and _test.go files
+// (which pin the shim-equals-graph equivalence on purpose).
+//
+// Matching is type-resolved, not textual: only methods of
+// elastichtap/query.Plan are flagged, so unrelated methods that happen
+// to be called On (topology placements, cost-model usage) stay quiet.
+package noshims
+
+import (
+	"go/ast"
+
+	"elastichtap/internal/lint"
+)
+
+// Analyzer is the noshims check.
+var Analyzer = &lint.Analyzer{
+	Name: "noshims",
+	Doc:  "forbid the deprecated Plan.Join/SemiJoin/On/JoinFilter shims outside the query package and tests",
+	Run:  run,
+}
+
+// shims are the deprecated methods of query.Plan.
+var shims = map[string]bool{
+	"Join":       true,
+	"SemiJoin":   true,
+	"On":         true,
+	"JoinFilter": true,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Path() == "elastichtap/query" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if lint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.FuncFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "elastichtap/query" {
+				return true
+			}
+			if !shims[fn.Name()] {
+				return true
+			}
+			if recv := lint.ReceiverType(fn); recv == nil || recv.Name() != "Plan" {
+				return true
+			}
+			// Anchor on the method name: in a builder chain the call
+			// expression starts back at the head of the chain.
+			pos := call.Pos()
+			if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				pos = se.Sel.Pos()
+			}
+			pass.Reportf(pos, "call to deprecated query.Plan.%s; build the join as a graph with query.JoinOn and Plan.JoinGraph", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package noshims_test
+
+import (
+	"testing"
+
+	"elastichtap/internal/lint/linttest"
+	"elastichtap/internal/lint/noshims"
+)
+
+func TestNoshims(t *testing.T) {
+	linttest.Run(t, ".", noshims.Analyzer, "a")
+}

@@ -1,0 +1,36 @@
+package a
+
+import "elastichtap/query"
+
+func linear() *query.Plan {
+	return query.Scan("orders", "o_id", "o_carrier_id").
+		Join("customer", "o_c_id", "c_id", "c_name"). // want `deprecated query.Plan.Join`
+		On("o_w_id", "c_w_id").                       // want `deprecated query.Plan.On`
+		JoinFilter(query.Eq("c_nation", int64(1))).   // want `deprecated query.Plan.JoinFilter`
+		GroupBy("o_carrier_id").
+		Agg(query.Count())
+}
+
+func semi() *query.Plan {
+	return query.Scan("orderline", "ol_i_id", "ol_amount").
+		SemiJoin("item", "ol_i_id", "i_id", query.Ge("i_price", int64(50))). // want `deprecated query.Plan.SemiJoin`
+		Agg(query.Sum("ol_amount"))
+}
+
+// graph builds the same join shape through the supported API: no
+// diagnostics.
+func graph() *query.Plan {
+	orders := query.Rel("orders")
+	cust := query.Rel("customer")
+	return query.Scan("orders", "o_id", "o_carrier_id").
+		JoinGraph(query.JoinOn(orders, cust, "o_c_id", "c_id")).
+		GroupBy("o_carrier_id").
+		Agg(query.Count())
+}
+
+// filter is not a shim: no diagnostics.
+func filtered() *query.Plan {
+	return query.Scan("orders", "o_id").
+		Filter(query.Eq("o_carrier_id", int64(0))).
+		Agg(query.Count())
+}

@@ -106,7 +106,7 @@ func TestCancelDiscardsUnclaimedMorsels(t *testing.T) {
 
 	// The pool must be intact: a follow-up query on the same engine
 	// computes the exact sum.
-	res, _, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	res, _, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestCancelRacesResizeAndSecondQuery(t *testing.T) {
 			defer wg.Done()
 			cancel() // races claim/steal/finish on the victim
 		}()
-		res, _, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+		res, _, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, src)
 		if err != nil {
 			t.Fatalf("round %d: survivor: %v", round, err)
 		}

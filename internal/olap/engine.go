@@ -123,22 +123,25 @@ type Stats struct {
 type Engine struct {
 	sockets int
 
-	mu        sync.Mutex
-	cond      *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	//htap:guardedby mu
 	placement topology.Placement
-	workers   [][]*worker     // active workers per socket; lengths track placement
-	stopping  map[int]*worker // retired workers whose goroutines are still draining
-	nlive     int             // goroutines not yet exited (active + stopping)
-	nextID    int
-	tasks     []*Task // admission order, across all tenants
+	workers   [][]*worker //htap:guardedby mu
+	//htap:guardedby mu
+	stopping map[int]*worker // retired workers whose goroutines are still draining
+	nlive    int             //htap:guardedby mu
+	nextID   int             //htap:guardedby mu
+	//htap:guardedby mu
+	tasks []*Task // admission order, across all tenants
 	// tenants/ring/cur are the weighted-fair dispatcher's state: one
 	// runnable list per tenant, served deficit-round-robin (see grab in
 	// tenant.go). A pool that only ever sees untenanted submissions has a
 	// single "default" entry and dispatches exactly as before.
-	tenants map[string]*tenantQueue
-	ring    []*tenantQueue
-	cur     int
-	closed  bool
+	tenants map[string]*tenantQueue //htap:guardedby mu
+	ring    []*tenantQueue          //htap:guardedby mu
+	cur     int                     //htap:guardedby mu
+	closed  bool                    //htap:guardedby mu
 }
 
 // NewEngine returns an engine for a machine with the given socket count.
@@ -215,6 +218,7 @@ func (e *Engine) PoolSize() int {
 	return e.activeWorkers()
 }
 
+//htap:locked mu
 func (e *Engine) activeWorkers() int {
 	n := 0
 	for _, ws := range e.workers {
@@ -249,18 +253,13 @@ type morsel struct {
 	socket int
 }
 
-// Execute runs the query over the source on the shared worker pool and
-// returns the materialized result plus scan statistics. It is Submit
-// followed by Wait; concurrent callers interleave their morsels on the
-// same workers.
-func (e *Engine) Execute(q Query, src Source) (Result, Stats, error) {
-	return e.ExecuteContext(context.Background(), q, src)
-}
-
-// ExecuteContext is Execute with cancellation: when ctx is cancelled or
-// its deadline expires the task is cancelled at the next morsel boundary
-// (see Task.Cancel) and the call returns an error wrapping ErrCancelled
-// and the context's cause. The pool stays fully usable afterwards.
+// ExecuteContext runs the query over the source on the shared worker
+// pool and returns the materialized result plus scan statistics. It is
+// Submit followed by WaitContext; concurrent callers interleave their
+// morsels on the same workers. When ctx is cancelled or its deadline
+// expires the task is cancelled at the next morsel boundary (see
+// Task.Cancel) and the call returns an error wrapping ErrCancelled and
+// the context's cause. The pool stays fully usable afterwards.
 func (e *Engine) ExecuteContext(ctx context.Context, q Query, src Source) (Result, Stats, error) {
 	return e.ExecuteTenantContext(ctx, q, src, TenantInfo{})
 }
@@ -367,6 +366,8 @@ func (e *Engine) SubmitTenant(q Query, src Source, tn TenantInfo) (*Task, error)
 
 // queuesEmpty reports whether any admitted task still has unclaimed
 // morsels. Callers hold e.mu.
+//
+//htap:locked mu
 func (e *Engine) queuesEmpty() bool {
 	for _, t := range e.tasks {
 		if t.unclaimed > 0 {
@@ -378,6 +379,8 @@ func (e *Engine) queuesEmpty() bool {
 
 // removeTask drops a completed task from the admission list and its
 // tenant's runnable list. Callers hold e.mu.
+//
+//htap:locked mu
 func (e *Engine) removeTask(t *Task) {
 	if t.tq != nil {
 		t.tq.removeTask(t)

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"testing"
 
 	"elastichtap/internal/columnar"
@@ -64,7 +65,7 @@ func TestExecuteSumSinglePart(t *testing.T) {
 	src := Source{Table: tab, Parts: []Part{
 		{Data: tab.Active(), Lo: 0, Hi: n, Socket: 0},
 	}}
-	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	res, st, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestExecuteSplitPartsEquivalent(t *testing.T) {
 		{Data: tab.Active(), Lo: 0, Hi: n / 3, Socket: 1},
 		{Data: tab.Active(), Lo: n / 3, Hi: n, Socket: 0},
 	}}
-	r1, _, err := e.Execute(&sumQuery{exec: &sumExec{}}, single)
+	r1, _, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, single)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, st2, err := e.Execute(&sumQuery{exec: &sumExec{}}, split)
+	r2, st2, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, split)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestExecuteZeroWorkersFallsBackToOne(t *testing.T) {
 	e := NewEngine(2)
 	e.SetPlacement(topology.Placement{PerSocket: []int{0, 0}})
 	src := Source{Table: tab, Parts: []Part{{Data: tab.Active(), Lo: 0, Hi: 1000, Socket: 0}}}
-	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	res, st, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestExecuteEmptySource(t *testing.T) {
 	e := NewEngine(2)
 	e.SetPlacement(topology.Placement{PerSocket: []int{1, 0}})
 	src := Source{Table: tab, Parts: nil}
-	res, st, err := e.Execute(&sumQuery{exec: &sumExec{}}, src)
+	res, st, err := e.ExecuteContext(context.Background(), &sumQuery{exec: &sumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func TestDRRIdleTenantYieldsPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.SetPlacement(topology.Placement{PerSocket: []int{2}})
-	if _, _, err := heavy.Wait(); err != nil {
+	if _, _, err := heavy.WaitContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	e.SetPlacement(topology.Placement{PerSocket: []int{0}})
@@ -106,7 +106,7 @@ func TestDRRIdleTenantYieldsPool(t *testing.T) {
 	if served != 8 {
 		t.Fatalf("light tenant served %d morsels alone, want all 8", served)
 	}
-	if _, _, err := light.Wait(); err != nil {
+	if _, _, err := light.WaitContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

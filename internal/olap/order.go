@@ -42,6 +42,8 @@ func (o Order) before(a, b []float64) bool {
 // genuine top-k (0 < limit < len(rows)) a bounded heap of limit rows
 // scans the input once in O(n log k); a full order falls back to sort.
 // Rows is reordered in place; the returned slice aliases it.
+//
+//htap:deterministic
 func SortRows(rows [][]float64, ord Order, limit int) [][]float64 {
 	if limit <= 0 || limit >= len(rows) {
 		sort.Slice(rows, func(i, j int) bool { return ord.before(rows[i], rows[j]) })

@@ -8,7 +8,7 @@ type worker struct {
 	e      *Engine
 	socket int
 	id     int
-	stop   bool // retire request; guarded by e.mu
+	stop   bool //htap:guardedby Engine.mu
 
 	// scratch is this worker's private reusable buffer space, touched
 	// only from the worker goroutine itself (outside e.mu, between grab
@@ -57,6 +57,8 @@ func (w *worker) run() {
 // worker exists to take them, or when another retiring worker with a
 // smaller id is designated caretaker. The lowest-id retiring worker stays
 // until the queues drain, guaranteeing liveness under a shrink to zero.
+//
+//htap:locked mu
 func (e *Engine) mayExit(w *worker) bool {
 	if e.queuesEmpty() {
 		return true

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -89,7 +90,7 @@ func referenceResult(t testing.TB, exec func() Exec, src Source) Result {
 	e := NewEngine(2)
 	defer e.Close()
 	e.SetPlacement(topology.Placement{PerSocket: []int{1, 0}})
-	res, _, err := e.Execute(&poolQuery{exec: exec()}, src)
+	res, _, err := e.ExecuteContext(context.Background(), &poolQuery{exec: exec()}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMidQueryGrow(t *testing.T) {
 	waitEntered(t, g, 8) // seven newcomers each claimed a queued morsel
 	close(g.release)
 
-	res, st, err := task.Wait()
+	res, st, err := task.WaitContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestMidQueryShrink(t *testing.T) {
 	}
 	close(g.release)
 
-	res, st, err := task.Wait()
+	res, st, err := task.WaitContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestShrinkToZeroStillCompletes(t *testing.T) {
 	}
 	close(g.release)
 
-	res, st, err := task.Wait()
+	res, st, err := task.WaitContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestStealAccounting(t *testing.T) {
 	e := NewEngine(2)
 	defer e.Close()
 	e.SetPlacement(topology.Placement{PerSocket: []int{0, 4}})
-	_, st, err := e.Execute(&poolQuery{exec: &fsumExec{}}, src)
+	_, st, err := e.ExecuteContext(context.Background(), &poolQuery{exec: &fsumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestStealAccounting(t *testing.T) {
 
 	// Workers co-located with the data steal nothing.
 	e.SetPlacement(topology.Placement{PerSocket: []int{4, 0}})
-	_, st, err = e.Execute(&poolQuery{exec: &fsumExec{}}, src)
+	_, st, err = e.ExecuteContext(context.Background(), &poolQuery{exec: &fsumExec{}}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestConcurrentTasksSharePool(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				res, st, err := e.Execute(&poolQuery{exec: &fsumExec{}}, src)
+				res, st, err := e.ExecuteContext(context.Background(), &poolQuery{exec: &fsumExec{}}, src)
 				if err != nil {
 					errs <- err
 					return
@@ -315,7 +316,7 @@ func TestCloseDrainsAndRefuses(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Close()
-	if _, _, err := task.Wait(); err != nil {
+	if _, _, err := task.WaitContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := e.Submit(&poolQuery{exec: &fsumExec{}}, src); err == nil {

@@ -15,20 +15,24 @@ type Task struct {
 	morsels []morsel
 	locals  []Local
 
-	// All fields below are guarded by e.mu.
-	tq        *tenantQueue // owning tenant's dispatch queue; nil for empty tasks
-	queue     [][]int      // per-socket FIFO of morsel indexes
-	heads     []int        // next FIFO position per socket (owner pops head)
-	unclaimed int          // morsels still queued
-	remaining int          // morsels not yet consumed
-	seen      map[int]struct{}
-	inline    int // pseudo-worker ids handed to inline drainers
+	//htap:guardedby Engine.mu
+	tq *tenantQueue // owning tenant's dispatch queue; nil for empty tasks
+	//htap:guardedby Engine.mu
+	queue [][]int // per-socket FIFO of morsel indexes
+	//htap:guardedby Engine.mu
+	heads     []int            // next FIFO position per socket (owner pops head)
+	unclaimed int              //htap:guardedby Engine.mu
+	remaining int              //htap:guardedby Engine.mu
+	seen      map[int]struct{} //htap:guardedby Engine.mu
+	inline    int              //htap:guardedby Engine.mu
 	stats     Stats
 	err       error // cancellation cause; set before done closes
 	done      chan struct{}
 }
 
 // pop takes the head of the socket's own queue. Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (t *Task) pop(socket int) (int, bool) {
 	if socket < 0 || socket >= len(t.queue) {
 		return 0, false
@@ -46,6 +50,8 @@ func (t *Task) pop(socket int) (int, bool) {
 // steal takes the tail of the fullest other socket's queue — the classic
 // deque split that keeps thieves away from the owner's sequential front.
 // Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (t *Task) steal(thief int) (int, bool) {
 	victim, best := -1, 0
 	for s := range t.queue {
@@ -70,6 +76,8 @@ func (t *Task) steal(thief int) (int, bool) {
 // home socket. The grab bypasses the weighted-fair dispatcher — an inline
 // drainer only ever consumes its own task — but still counts toward the
 // tenant's measured dispatch. Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (t *Task) popAny() (int, bool) {
 	for s := range t.queue {
 		if mi, ok := t.pop(s); ok {
@@ -86,6 +94,8 @@ func (t *Task) popAny() (int, bool) {
 // socket-local, feeding the measured locality statistics. A negative
 // workerSocket (inline drainer) counts as local: with no placement there
 // is no interconnect to charge. Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (t *Task) noteClaim(workerID, mi int, local bool) {
 	t.seen[workerID] = struct{}{}
 	m := t.morsels[mi]
@@ -124,6 +134,8 @@ func (t *Task) runMorsel(mi int, sc *Scratch) {
 
 // finishMorsel retires one consumed morsel; the last one completes the
 // task. Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (t *Task) finishMorsel(e *Engine) {
 	t.remaining--
 	if t.remaining == 0 {
@@ -192,19 +204,14 @@ func (t *Task) drain(ctx context.Context) {
 	e.mu.Unlock()
 }
 
-// Wait blocks until the task completes and returns the merged result and
-// measured statistics. The merge passes locals in morsel order, so
-// results are bitwise deterministic regardless of worker interleaving,
-// stealing, or mid-query pool resizes.
-func (t *Task) Wait() (Result, Stats, error) {
-	return t.WaitContext(context.Background())
-}
-
-// WaitContext is Wait with cancellation: when ctx ends before the task
-// does, the task is cancelled (unclaimed morsels discarded, in-flight
-// morsels allowed to finish) and the error wraps ErrCancelled together
-// with the context's cause, so errors.Is sees both context.Canceled /
-// context.DeadlineExceeded and ErrCancelled.
+// WaitContext blocks until the task completes and returns the merged
+// result and measured statistics. The merge passes locals in morsel
+// order, so results are bitwise deterministic regardless of worker
+// interleaving, stealing, or mid-query pool resizes. When ctx ends
+// before the task does, the task is cancelled (unclaimed morsels
+// discarded, in-flight morsels allowed to finish) and the error wraps
+// ErrCancelled together with the context's cause, so errors.Is sees
+// both context.Canceled / context.DeadlineExceeded and ErrCancelled.
 func (t *Task) WaitContext(ctx context.Context) (Result, Stats, error) {
 	e := t.e
 	if ctx.Done() != nil {

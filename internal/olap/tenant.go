@@ -19,24 +19,26 @@ type TenantInfo struct {
 // guarded by the engine's mutex.
 type tenantQueue struct {
 	name   string
-	weight int
+	weight int //htap:guardedby Engine.mu
 	// deficit is the tenant's remaining service this DRR round, in
 	// morsels. It refills by weight when the dispatcher's turn pointer
 	// reaches a backlogged tenant with no credit, and resets to zero when
 	// the tenant runs out of work — per textbook DRR, an idle queue must
 	// not hoard credit for later.
-	deficit int
+	deficit int //htap:guardedby Engine.mu
 	// tasks is the tenant's runnable list in admission order; dispatch
 	// within a tenant is unchanged from the engine's original policy.
-	tasks []*Task
+	tasks []*Task //htap:guardedby Engine.mu
 	// dispatched counts morsels handed to workers (or inline drainers)
 	// for this tenant over the engine's lifetime — the measured quantity
 	// fairness assertions and per-tenant metrics read.
-	dispatched int64
+	dispatched int64 //htap:guardedby Engine.mu
 }
 
 // runnable reports whether the tenant has unclaimed morsels. Callers hold
 // e.mu.
+//
+//htap:locked Engine.mu
 func (tq *tenantQueue) runnable() bool {
 	for _, t := range tq.tasks {
 		if t.unclaimed > 0 {
@@ -50,6 +52,8 @@ func (tq *tenantQueue) runnable() bool {
 // engine's original within-tenant policy: oldest task first, own-socket
 // FIFO head before stealing from another socket's tail. The returned bool
 // pair is (socket-local, ok). Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (tq *tenantQueue) take(socket int) (*Task, int, bool, bool) {
 	for _, t := range tq.tasks {
 		if mi, ok := t.pop(socket); ok {
@@ -66,6 +70,8 @@ func (tq *tenantQueue) take(socket int) (*Task, int, bool, bool) {
 
 // removeTask drops a completed task from the tenant's runnable list.
 // Callers hold e.mu.
+//
+//htap:locked Engine.mu
 func (tq *tenantQueue) removeTask(t *Task) {
 	for i, x := range tq.tasks {
 		if x == t {
@@ -78,6 +84,8 @@ func (tq *tenantQueue) removeTask(t *Task) {
 // tenantFor returns the tenant's dispatch queue, creating and ring-linking
 // it on first submission; a later submission with a different weight
 // re-weights the queue in place. Callers hold e.mu.
+//
+//htap:locked mu
 func (e *Engine) tenantFor(tn TenantInfo) *tenantQueue {
 	name := tn.Name
 	if name == "" {
@@ -107,6 +115,8 @@ func (e *Engine) tenantFor(tn TenantInfo) *tenantQueue {
 // original policy is preserved: oldest task first, own-socket FIFO head
 // before stealing another socket's tail. Callers hold e.mu. The returned
 // bool reports a socket-local grab.
+//
+//htap:locked mu
 func (e *Engine) grab(socket int) (*Task, int, bool) {
 	n := len(e.ring)
 	// Two sweeps bound the scan: the first may spend turn advances on

@@ -29,8 +29,8 @@ type Exchange struct {
 	OLTPSocket, OLAPSocket int
 
 	mu         sync.Mutex
-	exchangeMu sync.Mutex // serializes switch+sync/ETL cycles
-	replicas   map[string]*columnar.Replica
+	exchangeMu sync.Mutex                   // serializes switch+sync/ETL cycles
+	replicas   map[string]*columnar.Replica //htap:guardedby mu
 
 	// latches order in-flight analytical scans (readers) against writers
 	// that mutate cells a scan could be reading without atomics: the
@@ -41,12 +41,12 @@ type Exchange struct {
 	// insert-only tables every write lands on rows beyond any scan's
 	// watermark, so their scans are never waited on.
 	latchMu sync.Mutex
-	latches map[string]*sync.RWMutex
+	latches map[string]*sync.RWMutex //htap:guardedby latchMu
 
 	// lifetime counters (diagnostics and tests)
-	switches   int64
-	syncedRows int64
-	etlBytes   int64
+	switches   int64 //htap:guardedby mu
+	syncedRows int64 //htap:guardedby mu
+	etlBytes   int64 //htap:guardedby mu
 }
 
 // New wires an exchange over the two engines. The OLTP engine keeps socket

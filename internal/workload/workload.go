@@ -166,26 +166,26 @@ type TenantStats struct {
 // its slot itself.
 type waiter struct {
 	ready chan struct{}
-	ok    bool
+	ok    bool //htap:guardedby Manager.mu
 }
 
 // tenant is the manager's per-tenant state; all fields are guarded by the
 // manager's mutex.
 type tenant struct {
 	name string
-	cfg  Config
+	cfg  Config //htap:guardedby Manager.mu
 
-	running int
-	queue   []*waiter
+	running int       //htap:guardedby Manager.mu
+	queue   []*waiter //htap:guardedby Manager.mu
 
 	// windowStart is the monotonic instant the current quota window
 	// began; windowBytes the spend inside it.
-	windowStart time.Duration
-	windowBytes int64
+	windowStart time.Duration //htap:guardedby Manager.mu
+	windowBytes int64         //htap:guardedby Manager.mu
 
-	admitted, rejected uint64
-	bytesTotal         int64
-	waitTotal          time.Duration
+	admitted, rejected uint64        //htap:guardedby Manager.mu
+	bytesTotal         int64         //htap:guardedby Manager.mu
+	waitTotal          time.Duration //htap:guardedby Manager.mu
 }
 
 // Manager is the tenant registry and admission gate. It is safe for
@@ -193,7 +193,7 @@ type tenant struct {
 type Manager struct {
 	mu      sync.Mutex
 	now     func() time.Duration // monotonic clock
-	tenants map[string]*tenant
+	tenants map[string]*tenant   //htap:guardedby mu
 }
 
 // New returns a manager on the real monotonic clock, with DefaultTenant
@@ -248,6 +248,8 @@ func (m *Manager) Register(name string, cfg Config) error {
 
 // windowOrigin aligns a new tenant's first window to the clock so refill
 // instants are predictable under a fake clock. Callers hold m.mu.
+//
+//htap:locked mu
 func (m *Manager) windowOrigin(w time.Duration) time.Duration {
 	now := m.now()
 	return now - now%w
@@ -276,6 +278,8 @@ func (m *Manager) resolve(name string) string {
 // now, zeroing the spend. Lazy: called on every admission and release, so
 // no timer goroutine is needed and a fake clock fully determines when
 // budgets refill. Callers hold m.mu.
+//
+//htap:locked Manager.mu
 func (t *tenant) refill(now time.Duration) {
 	if t.cfg.BytesPerWindow <= 0 {
 		return
@@ -350,6 +354,8 @@ func (m *Manager) Admit(ctx context.Context, name string) (*Grant, error) {
 }
 
 // reject records a rejection and builds its error. Callers hold m.mu.
+//
+//htap:locked mu
 func (m *Manager) reject(t *tenant, r Reason, retry time.Duration) error {
 	t.rejected++
 	return &OverloadError{
@@ -363,6 +369,8 @@ func (m *Manager) reject(t *tenant, r Reason, retry time.Duration) error {
 
 // dequeue removes a cancelled waiter from the tenant's queue, reporting
 // whether it had already been granted. Callers hold m.mu.
+//
+//htap:locked mu
 func (m *Manager) dequeue(t *tenant, w *waiter) bool {
 	for i, x := range t.queue {
 		if x == w {
@@ -426,6 +434,8 @@ func (m *Manager) Stats() []TenantStats {
 }
 
 // statsLocked builds one tenant's snapshot. Callers hold m.mu.
+//
+//htap:locked mu
 func (m *Manager) statsLocked(t *tenant) TenantStats {
 	t.refill(m.now())
 	return TenantStats{

@@ -923,6 +923,10 @@ type local struct {
 	present []bool         // flat occupancy, indexed by key
 	dense   bool           // single-key plan: flat path enabled
 	groups  map[gkey][]acc // grouped accumulators (spill / composite keys)
+
+	// spillKeys records groups insertion order so Merge can walk the
+	// spilled keys deterministically instead of ranging the map.
+	spillKeys []gkey
 }
 
 // NewLocal implements olap.Exec. Locals are per-morsel (the engine merges
@@ -1173,6 +1177,7 @@ func (l *local) lookupSpill(k gkey) []acc {
 	if accs == nil {
 		accs = make([]acc, len(l.e.c.aggs))
 		l.groups[k] = accs
+		l.spillKeys = append(l.spillKeys, k)
 	}
 	return accs
 }
@@ -1393,6 +1398,8 @@ func filterSel(t *ftest, vec []int64, sel []int32) []int32 {
 // the plan's total order (bounded-heap top-k when Limit is set) — both
 // over fully merged, deterministic values, so ordered results stay
 // bitwise reproducible too.
+//
+//htap:deterministic
 func (e *exec) Merge(locals []olap.Local) olap.Result {
 	c := e.c
 	res := olap.Result{Cols: c.outCols}
@@ -1425,8 +1432,8 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 				}
 			}
 		}
-		for k, accs := range ll.groups {
-			merge(k, accs)
+		for _, k := range ll.spillKeys {
+			merge(k, ll.groups[k])
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -1445,6 +1452,8 @@ func (e *exec) Merge(locals []olap.Local) olap.Result {
 
 // finishRes applies the post-aggregation stages shared by the staged and
 // fused paths: Having over emitted rows, then the ordered (top-k) merge.
+//
+//htap:deterministic
 func finishRes(c *Compiled, res olap.Result) olap.Result {
 	if len(c.having) > 0 {
 		kept := res.Rows[:0]
@@ -1467,6 +1476,7 @@ func finishRes(c *Compiled, res olap.Result) olap.Result {
 	return res
 }
 
+//htap:deterministic
 func mergeAccs(dst, src []acc, aggs []aggPlan) {
 	for j := range aggs {
 		switch aggs[j].kind {
@@ -1489,6 +1499,7 @@ func mergeAccs(dst, src []acc, aggs []aggPlan) {
 	}
 }
 
+//htap:deterministic
 func emitRow(c *Compiled, k gkey, accs []acc) []float64 {
 	row := make([]float64, 0, len(c.groups)+len(c.aggs))
 	for d := range c.groups {

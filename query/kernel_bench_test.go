@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"elastichtap/internal/columnar"
@@ -100,7 +101,7 @@ func runKernelBench(b *testing.B, p *Plan, touched int64) {
 	b.SetBytes(benchRows * touched * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q, src); err != nil {
+		if _, _, err := eng.ExecuteContext(context.Background(), q, src); err != nil {
 			b.Fatal(err)
 		}
 	}

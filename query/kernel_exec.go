@@ -298,7 +298,10 @@ func (t *groupTab) grow() {
 
 // lookup returns key k's accumulator row, creating it zeroed on first
 // touch (CountIf semantics require groups to exist even when every
-// condition fails).
+// condition fails). Growth amortizes to zero per morsel once the table
+// has seen the key domain.
+//
+//htap:coldpath
 func (t *groupTab) lookup(k *gkey) []acc {
 	h := hashGK(k, t.nkey) >> t.shift
 	for {
@@ -359,6 +362,11 @@ func (e *fexec) NewLocal() olap.Local {
 			l.global = make([]acc, e.nacc)
 		}
 	}
+	if e.gkind == gSpill {
+		// Spill plans always hash: building the table here keeps the
+		// per-block consume paths allocation-free (//htap:hotpath).
+		l.tab = newGroupTab(e.nacc, max(e.ngroup, 1))
+	}
 	if e.jkind == jMulti {
 		l.payBuf = make([]int64, e.npayTotal)
 	}
@@ -367,6 +375,8 @@ func (e *fexec) NewLocal() olap.Local {
 
 // growDense doubles the flat array to cover key k (capped at denseLen),
 // the same policy as the staged path so flat contents stay identical.
+//
+//htap:coldpath
 func (l *flocal) growDense(k int64) {
 	n := 16
 	for n <= int(k) {
@@ -384,6 +394,8 @@ func (l *flocal) growDense(k int64) {
 
 // growIF doubles the specDenseSumIF cell array to cover key k, the same
 // doubling-from-16 policy as growDense.
+//
+//htap:coldpath
 func (l *flocal) growIF(k int64) {
 	n := 16
 	for n <= int(k) {
@@ -397,6 +409,10 @@ func (l *flocal) growIF(k int64) {
 	l.flatIF = flat
 }
 
+// lookupTab resolves a spilled key through the open-addressed table,
+// creating the table on a dense plan's first overflow key.
+//
+//htap:coldpath
 func (l *flocal) lookupTab(k gkey) []acc {
 	if l.tab == nil {
 		l.tab = newGroupTab(l.e.nacc, max(l.e.ngroup, 1))
@@ -407,7 +423,11 @@ func (l *flocal) lookupTab(k gkey) []acc {
 // Consume implements olap.Local: one pass over the block, filter →
 // probe → group → accumulate per row. The loop splits per grouping kind
 // so the group-resolve branch is hoisted; filter ranges, the probe and
-// the op switch run inline with no per-row calls.
+// the op switch run inline with no per-row calls. A warmed local
+// consuming a same-shaped block must not allocate (the runtime half of
+// this contract is alloc_regression_test.go).
+//
+//htap:hotpath
 func (l *flocal) Consume(b olap.Block) {
 	e := l.e
 	if e.never || b.N == 0 {
@@ -733,6 +753,8 @@ func (l *flocal) consumeSpill(b olap.Block) {
 
 // mergeInto folds one local's accumulator row into the running total,
 // per physical accumulator kind.
+//
+//htap:deterministic
 func (e *fexec) mergeInto(dst, src []acc) {
 	for i := range e.sh.accs {
 		switch e.sh.accs[i].kind {
@@ -755,6 +777,8 @@ func (e *fexec) mergeInto(dst, src []acc) {
 
 // emitRow renders one output row from a merged accumulator row through
 // the shape's emit mapping.
+//
+//htap:deterministic
 func (e *fexec) emitRow(k gkey, accs []acc) []float64 {
 	row := make([]float64, 0, e.ngroup+len(e.sh.emits))
 	for d := 0; d < e.ngroup; d++ {
@@ -786,6 +810,8 @@ func (e *fexec) emitRow(k gkey, accs []acc) []float64 {
 // totals accumulate in that order and grouped rows emit sorted by key,
 // exactly like the staged merge, so fused results are bitwise identical
 // under any stealing or resize interleaving.
+//
+//htap:deterministic
 func (e *fexec) Merge(locals []olap.Local) olap.Result {
 	c := e.c
 	res := olap.Result{Cols: c.outCols}

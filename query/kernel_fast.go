@@ -212,11 +212,7 @@ func (l *flocal) runSpillSumF(b olap.Block) {
 		slots, mask, shift = e.jK.slots, e.jK.mask, e.jK.shift
 	}
 	slab := e.jK.slab
-	tab := l.tab
-	if tab == nil {
-		tab = newGroupTab(e.nacc, max(ng, 1))
-		l.tab = tab
-	}
+	tab := l.tab // pre-sized by NewLocal for gSpill plans
 	var pay []int64
 row:
 	for i := 0; i < b.N; i++ {

@@ -289,9 +289,10 @@ func resolveArg(v any, args Args) any {
 // a fresh exec), so sharing the cached clone across concurrent
 // executions is safe.
 type stmtCache struct {
-	mu      sync.Mutex
-	args    Args // always a defensive copy with comparable scalar values
-	stamped *Compiled
+	mu sync.Mutex
+	//htap:guardedby mu
+	args    Args      // always a defensive copy with comparable scalar values
+	stamped *Compiled //htap:guardedby mu
 }
 
 // get returns the cached statement when args match the last-stamped

@@ -6,12 +6,14 @@
 // generic executor with predicate pushdown into block consumption and
 // per-morsel partial aggregates merged deterministically at the end.
 //
-// Plans are built fluently:
+// Plans are built fluently, with joins expressed as a graph of edges
+// between relations (see graph.go):
 //
+//	ol := query.Rel("orderline")
+//	orders := query.Rel("orders").Filter(query.Eq("o_carrier_id", 0))
 //	p := query.Scan("orderline").
-//		Join("orders", "ol_w_id", "o_w_id", "o_entry_d").
-//		On("ol_d_id", "o_d_id").On("ol_o_id", "o_id").
-//		JoinFilter(query.Eq("o_carrier_id", 0)).
+//		JoinGraph(query.JoinOn(ol, orders,
+//			"ol_w_id", "o_w_id", "ol_d_id", "o_d_id", "ol_o_id", "o_id")).
 //		GroupBy("ol_w_id", "ol_d_id", "ol_o_id", "o_entry_d").
 //		Agg(query.Sum("ol_amount").As("revenue")).
 //		OrderBy("revenue", true).
@@ -367,8 +369,10 @@ func (p *Plan) Join(dim, factKey, dimKey string, payloadCols ...string) *Plan {
 
 // On appends a key-column pair to the plan's join, building a composite
 // equi-join key (orderline ⋈ orders matches on warehouse, district and
-// order id). Valid after Join or SemiJoin only; graph plans list all key
-// pairs in their JoinOn edges instead.
+// order id). Valid after Join or SemiJoin only.
+//
+// Deprecated: On extends the linear join shims; graph plans list all
+// key pairs in their JoinOn edges instead.
 func (p *Plan) On(factKey, dimKey string) *Plan {
 	if len(p.joins) == 0 {
 		p.fail(fmt.Errorf("query: On before Join/SemiJoin"))
@@ -390,8 +394,10 @@ func (p *Plan) On(factKey, dimKey string) *Plan {
 
 // JoinFilter appends predicates over the join's dimension table; only
 // dimension rows passing all of them enter the build side. Valid after
-// Join or SemiJoin only; graph plans filter relations with Relation.Filter
-// instead.
+// Join or SemiJoin only.
+//
+// Deprecated: JoinFilter extends the linear join shims; graph plans
+// filter relations with Relation.Filter instead.
 func (p *Plan) JoinFilter(preds ...Pred) *Plan {
 	if len(p.joins) == 0 {
 		p.fail(fmt.Errorf("query: JoinFilter before Join/SemiJoin"))

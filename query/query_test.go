@@ -1,6 +1,11 @@
+//lint:file-ignore SA1019 this file exercises the deprecated linear join
+// shims (Join, SemiJoin, On, JoinFilter) on purpose, pinning the
+// shim-equals-graph equivalence until removal.
+
 package query
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -88,7 +93,7 @@ func run(t *testing.T, e *oltp.Engine, q olap.Query) olap.Result {
 	}}}
 	eng := olap.NewEngine(1)
 	eng.SetPlacement(topology.Placement{PerSocket: []int{1}})
-	res, _, err := eng.Execute(q, src)
+	res, _, err := eng.ExecuteContext(context.Background(), q, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,7 +103,7 @@ func TestSubmitCancelMidExecution(t *testing.T) {
 
 	// Placement and pool must be consistent: the same System answers a
 	// follow-up exactly like a twin that never saw the cancellation.
-	got, err := sys.Query(Q6(db))
+	got, err := sys.QueryContext(context.Background(), Q6(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestDeadlineExpiryDuringAdmission(t *testing.T) {
 	// Replicas and snapshots must agree after the abandoned admissions:
 	// the same logical data through both access paths, and a complete
 	// ETL (α=0 forces S2) restores freshness-rate 1.
-	s2, err := sys.Query(Q6(db))
+	s2, err := sys.QueryContext(context.Background(), Q6(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestDeadlineExpiryDuringAdmission(t *testing.T) {
 	if rate, _ := sys.Freshness(); rate != 1 {
 		t.Fatalf("freshness after ETL = %v, want 1", rate)
 	}
-	s1, err := sys.QueryInState(Q6(db), S1)
+	s1, err := sys.QueryInStateContext(context.Background(), Q6(db), S1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestSubmitManyClients(t *testing.T) {
 	// query because the OLTP workload is quiescent).
 	want := make([]olap.Result, len(queries))
 	for i, q := range queries {
-		rep, err := sys.Query(q)
+		rep, err := sys.QueryContext(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +247,7 @@ func TestCancellationRaces(t *testing.T) {
 	sys, db := newSystem(t)
 	defer sys.Close()
 	sys.Run(200)
-	ref, err := sys.Query(Q6(db))
+	ref, err := sys.QueryContext(context.Background(), Q6(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestCancellationRaces(t *testing.T) {
 				return
 			default:
 			}
-			rep, err := sys.Query(Q6(db))
+			rep, err := sys.QueryContext(context.Background(), Q6(db))
 			if err != nil {
 				t.Errorf("survivor: %v", err)
 				return
@@ -302,7 +302,7 @@ func TestCancellationRaces(t *testing.T) {
 	wg.Wait()
 
 	// The system must still be exact after all that churn.
-	rep, err := sys.Query(Q6(db))
+	rep, err := sys.QueryContext(context.Background(), Q6(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestCloseTyped(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := sys.Query(Q6(db)); err != nil && !errors.Is(err, ErrClosed) {
+			if _, err := sys.QueryContext(context.Background(), Q6(db)); err != nil && !errors.Is(err, ErrClosed) {
 				t.Errorf("in-flight query: err = %v, want nil or ErrClosed", err)
 			}
 		}()
@@ -340,10 +340,10 @@ func TestCloseTyped(t *testing.T) {
 	cg.Wait()
 	wg.Wait()
 
-	if _, err := sys.Query(Q6(db)); !errors.Is(err, ErrClosed) {
+	if _, err := sys.QueryContext(context.Background(), Q6(db)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Query after Close = %v, want ErrClosed", err)
 	}
-	if _, err := sys.QueryBatch([]Query{Q6(db)}); !errors.Is(err, ErrClosed) {
+	if _, err := sys.QueryBatchContext(context.Background(), []Query{Q6(db)}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("QueryBatch after Close = %v, want ErrClosed", err)
 	}
 	h, err := sys.Submit(context.Background(), Q6(db))
@@ -444,7 +444,7 @@ func TestStmtLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := sys.Query(q)
+		rep, err := sys.QueryContext(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

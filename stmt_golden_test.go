@@ -1,6 +1,7 @@
 package elastichtap
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -79,11 +80,11 @@ func TestStmtGoldenMatchesFreshBind(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s[%d]: fresh bind: %v", tc.name, i, err)
 				}
-				got, gotSt, err := eng.Execute(stamped, src)
+				got, gotSt, err := eng.ExecuteContext(context.Background(), stamped, src)
 				if err != nil {
 					t.Fatalf("%s[%d]: stamped exec: %v", tc.name, i, err)
 				}
-				want, wantSt, err := eng.Execute(fresh, src)
+				want, wantSt, err := eng.ExecuteContext(context.Background(), fresh, src)
 				if err != nil {
 					t.Fatalf("%s[%d]: fresh exec: %v", tc.name, i, err)
 				}
@@ -153,11 +154,11 @@ func TestFacadeQsArePreparedOncePerDB(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.q.Name(), err)
 		}
-		got, _, err := eng.Execute(tc.q, src)
+		got, _, err := eng.ExecuteContext(context.Background(), tc.q, src)
 		if err != nil {
 			t.Fatalf("%s: facade exec: %v", tc.q.Name(), err)
 		}
-		want, _, err := eng.Execute(fresh, src)
+		want, _, err := eng.ExecuteContext(context.Background(), fresh, src)
 		if err != nil {
 			t.Fatalf("%s: fresh exec: %v", tc.q.Name(), err)
 		}

@@ -103,7 +103,7 @@ func TestZeroQuotaTenantFacade(t *testing.T) {
 		t.Fatalf("overload metadata: %+v (err %v)", oe, err)
 	}
 	// Untenanted query: implicit default tenant, unchanged behavior.
-	rep, err := sys.Query(Q6(db))
+	rep, err := sys.QueryContext(context.Background(), Q6(db))
 	if err != nil {
 		t.Fatal(err)
 	}
