@@ -8,6 +8,7 @@ import (
 	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/topology"
+	"elastichtap/internal/wal"
 )
 
 // The fused kernels keep all per-morsel state in per-worker scratch and
@@ -145,5 +146,36 @@ func TestGraphJoinExecutionAllocBudget(t *testing.T) {
 				t.Fatalf("warmed prepared %s execution allocates %.1f, budget %.0f", p.name, avg, p.budget)
 			}
 		})
+	}
+}
+
+// TestWALAppendAllocBudget pins the commit log's hot path: a warmed
+// Append — encode buffer grown, file with capacity headroom — must not
+// allocate per record beyond the filesystem's occasional slice growth
+// (budget 1 absorbs an amortized doubling; the encode path itself is
+// allocation-free, machine-checked by htaplint's hotalloc analyzer).
+func TestWALAppendAllocBudget(t *testing.T) {
+	fs := wal.NewMemFS()
+	l, err := wal.Open(fs, "wal.log", wal.SyncNever, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &wal.Record{TxnID: 1, CommitTS: 2, Ops: []wal.Op{
+		{Kind: wal.OpUpdate, Table: "orderline", Row: 3, Col: 4, Val: 5},
+		{Kind: wal.OpInsert, Table: "orderline", NRows: 1, Width: 4, Vals: []int64{1, 2, 3, 4}},
+	}}
+	apply := func() {}
+	// Warm: grows the encode buffer and gives the backing file capacity.
+	for i := 0; i < 4096; i++ {
+		if _, err := l.Append(rec, apply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := l.Append(rec, apply); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("warmed WAL append allocates %.2f times per record, budget 1", avg)
 	}
 }

@@ -38,13 +38,39 @@ type Bench struct {
 // BenchmarkQ<n>OrderGreedy/BenchmarkQ<n>OrderWritten pair — below 1
 // means the zero-statistics greedy order beat the written edge order.
 type Report struct {
-	Goos        string             `json:"goos,omitempty"`
-	Goarch      string             `json:"goarch,omitempty"`
-	Pkg         string             `json:"pkg,omitempty"`
-	CPU         string             `json:"cpu,omitempty"`
-	Benchmarks  map[string]*Bench  `json:"benchmarks"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+	// Recovery groups the durability-path benchmarks — WAL append and
+	// replay, whole-database checkpointing, crash recovery — so the
+	// trajectory of the recovery story reads as one unit.
+	Recovery    map[string]*Bench  `json:"recovery,omitempty"`
 	GapRatios   map[string]float64 `json:"gap_ratios,omitempty"`
 	OrderRatios map[string]float64 `json:"order_ratios,omitempty"`
+}
+
+// recoveryBench reports whether a benchmark belongs to the durability
+// metric group.
+func recoveryBench(name string) bool {
+	n := baseName(name)
+	return n == "BenchmarkCheckpointDB" || n == "BenchmarkRecovery" ||
+		strings.HasPrefix(n, "BenchmarkWAL")
+}
+
+// splitRecovery moves the durability benchmarks out of the flat map into
+// the report's recovery group.
+func splitRecovery(rep *Report) {
+	for name, b := range rep.Benchmarks {
+		if recoveryBench(name) {
+			if rep.Recovery == nil {
+				rep.Recovery = map[string]*Bench{}
+			}
+			rep.Recovery[name] = b
+			delete(rep.Benchmarks, name)
+		}
+	}
 }
 
 // graphJoinQueries are the CH queries compiled through the n-way join
@@ -228,6 +254,7 @@ func main() {
 	}
 	rep.GapRatios = gapRatios(rep)
 	rep.OrderRatios = orderRatios(rep)
+	splitRecovery(rep)
 	var dst io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

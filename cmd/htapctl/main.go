@@ -11,6 +11,8 @@
 //	htapctl -query adhoc         # a prepared group-by report, stamped per round
 //	htapctl -timeout 30s         # deadline the whole run
 //	htapctl -tenant dashboards   # run the rounds as a registered tenant
+//	htapctl -checkpoint /tmp/db  # WAL every commit, checkpoint after the rounds
+//	htapctl -restore /tmp/db     # recover from the checkpoint + WAL and continue
 //
 // With -tenant the rounds pass the workload manager's admission gate as
 // that tenant (registered up front with -tenantweight), and the final
@@ -46,6 +48,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry cancels the in-flight query at the next morsel boundary")
 		tenant    = flag.String("tenant", "", "run the round queries as this workload-manager tenant (empty = default tenant)")
 		weight    = flag.Int("tenantweight", 4, "fair-share weight for -tenant")
+		ckptDir   = flag.String("checkpoint", "", "durability directory: log every commit to its WAL and write a whole-database checkpoint after the rounds")
+		restore   = flag.String("restore", "", "recover the database from this durability directory instead of loading fresh (-sf/-seed are ignored)")
 	)
 	flag.Parse()
 
@@ -60,12 +64,37 @@ func main() {
 	if *emulate > 0 && *sf > 0 {
 		opts = append(opts, elastichtap.WithEmulatedScale(*sf, *emulate))
 	}
-	sys, err := elastichtap.New(opts...)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		sys *elastichtap.System
+		db  *elastichtap.DB
+		err error
+	)
+	if *restore != "" {
+		var info elastichtap.RecoveryInfo
+		sys, info, err = elastichtap.OpenFromDir(elastichtap.DiskFS(), *restore, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = sys.DB()
+		fmt.Printf("recovered from %s: checkpoint %d + %d WAL transactions (%d commits total)",
+			*restore, info.Seq, info.Replayed, info.Commits)
+		if info.Truncated {
+			fmt.Printf("; torn log tail discarded at byte %d", info.ValidPos)
+		}
+		fmt.Println()
+	} else {
+		sys, err = elastichtap.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = sys.LoadCH(*sf, *seed)
 	}
 	defer sys.Close()
-	db := sys.LoadCH(*sf, *seed)
+	if *ckptDir != "" {
+		if err := sys.EnableWAL(elastichtap.DiskFS(), *ckptDir, elastichtap.SyncAlways, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := sys.StartWorkload(*payment); err != nil {
 		log.Fatal(err)
 	}
@@ -168,6 +197,15 @@ func main() {
 			rate, rep.OLTPDuringTPS/1e6, rep.Stats.Workers, stolen*100)
 	}
 	tw.Flush()
+
+	if *ckptDir != "" {
+		seq, err := sys.CheckpointDB(elastichtap.DiskFS(), *ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwhole-database checkpoint %d written under %s (restore with -restore %s)\n",
+			seq, *ckptDir, *ckptDir)
+	}
 
 	fmt.Println("\nfinal system metrics:")
 	fmt.Print(sys.Metrics())

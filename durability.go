@@ -1,0 +1,304 @@
+package elastichtap
+
+import (
+	"fmt"
+	"time"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/checkpoint"
+	"elastichtap/internal/wal"
+)
+
+// Durability layer: a commit write-ahead log plus whole-database
+// checkpoints, composing into crash recovery.
+//
+//	sys, _ := elastichtap.New()
+//	db := sys.LoadCH(0.001, 42)
+//	fs := elastichtap.DiskFS()
+//	sys.EnableWAL(fs, "data", elastichtap.SyncAlways, 0)
+//	sys.CheckpointDB(fs, "data")      // bootstrap image of the load
+//	... workload runs, commits stream into data/wal.log ...
+//	sys.CheckpointDB(fs, "data")      // later images truncate replay work
+//
+// After a crash:
+//
+//	sys2, info, _ := elastichtap.OpenFromDir(fs, "data")
+//	// sys2 now holds every committed transaction: the latest complete
+//	// checkpoint image plus the WAL suffix replayed above info.WALPos.
+
+// FS is the filesystem surface the durability layer writes through.
+// DiskFS returns the real one; tests and the crash harness use
+// wal.NewMemFS for fault injection.
+type FS = wal.FS
+
+// SyncPolicy selects when WAL appends are made durable.
+type SyncPolicy = wal.SyncPolicy
+
+// WAL sync policies.
+const (
+	// SyncAlways fsyncs before a commit acknowledges (group-committed).
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs at most once per configured interval.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves fsync to checkpoints and Close.
+	SyncNever = wal.SyncNever
+)
+
+// DiskFS returns the operating-system filesystem.
+func DiskFS() FS { return wal.OSFS{} }
+
+// walName is the commit log's file name under the durability directory.
+const walName = "wal.log"
+
+// EnableWAL attaches a commit write-ahead log under dir: every later
+// commit appends its write set to dir/wal.log before applying, per the
+// sync policy (interval is only read by SyncInterval). An existing log is
+// scanned, truncated at its first corrupt or torn record, and appended
+// to from there. Call it after LoadCH and before the workload; the
+// loaded data itself is persisted by the first CheckpointDB, not the log.
+func (s *System) EnableWAL(fs FS, dir string, policy SyncPolicy, interval time.Duration) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("elastichtap: EnableWAL: %w", err)
+	}
+	name := dir + "/" + walName
+	start := int64(0)
+	if f, err := fs.Open(name); err == nil {
+		st, rerr := wal.Replay(f, 0, nil)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("elastichtap: EnableWAL: scanning %s: %w", name, rerr)
+		}
+		if st.Truncated {
+			if err := fs.Truncate(name, st.ValidPos); err != nil {
+				return fmt.Errorf("elastichtap: EnableWAL: %w", err)
+			}
+		}
+		start = st.ValidPos
+	}
+	l, err := wal.Open(fs, name, policy, interval, start)
+	if err != nil {
+		return fmt.Errorf("elastichtap: EnableWAL: %w", err)
+	}
+	s.inner.OLTPE.Manager().SetWAL(l)
+	return nil
+}
+
+// WAL returns the attached commit log, or nil.
+func (s *System) WAL() *wal.Log { return s.inner.OLTPE.Manager().WAL() }
+
+// Sizing extras keys persisted in whole-database manifests.
+const (
+	extraDay        = "ch.day"
+	extraWarehouses = "ch.warehouses"
+	extraDistricts  = "ch.districts_per_wh"
+	extraCustomers  = "ch.customers_per_district"
+	extraItems      = "ch.items"
+	extraOrders     = "ch.orders_per_district"
+	extraOrderLines = "ch.order_lines_per_order"
+)
+
+// CheckpointDB streams a whole-database checkpoint into dir (next to the
+// WAL): one ckpt-<seq> directory holding every table's v2 checkpoint file
+// and a manifest binding them to a WAL position, the transaction clock,
+// the commit count, per-table OLAP replica watermarks and staleness bits.
+// The capture is transaction consistent (commit barrier) and the
+// streaming proceeds from pinned snapshot instances while transactions
+// continue. Returns the checkpoint's sequence number.
+func (s *System) CheckpointDB(fs FS, dir string) (uint64, error) {
+	if s.db == nil {
+		return 0, fmt.Errorf("elastichtap: CheckpointDB: %w", ErrNoDatabase)
+	}
+	sz := s.db.Sizing
+	extras := map[string]int64{
+		extraDay:        s.db.Day(),
+		extraWarehouses: int64(sz.Warehouses),
+		extraDistricts:  int64(sz.DistrictsPerWH),
+		extraCustomers:  int64(sz.CustomersPerDistrict),
+		extraItems:      int64(sz.Items),
+		extraOrders:     int64(sz.OrdersPerDistrict),
+		extraOrderLines: int64(sz.OrderLinesPerOrder),
+	}
+	return s.inner.CheckpointDB(fs, dir, extras)
+}
+
+// RecoveryInfo describes what OpenFromDir reconstructed.
+type RecoveryInfo struct {
+	// Seq is the checkpoint sequence restored from.
+	Seq uint64
+	// WALPos is the log offset replay started at (the manifest's).
+	WALPos int64
+	// ValidPos is the offset after the last intact log record; bytes
+	// beyond it were a torn tail or corruption and were discarded.
+	ValidPos int64
+	// Replayed counts the committed transactions re-applied from the log.
+	Replayed int
+	// Truncated reports whether the log ended in a torn or corrupt record
+	// rather than a clean end of file.
+	Truncated bool
+	// Commits is the restored lifetime commit count.
+	Commits uint64
+}
+
+// OpenFromDir builds a fresh system and restores the database from the
+// durability directory: the latest complete checkpoint image (torn
+// checkpoint directories are skipped), then the WAL suffix above the
+// manifest's position, truncating mentally at the first corrupt or torn
+// record. Indexes are rebuilt and replica watermarks, staleness bits, the
+// transaction clock and the commit count restored, so analytics,
+// freshness metrics and further transactions continue exactly where the
+// crashed process's durable state ended.
+//
+// The recovery itself is read-only — the same directory can be opened
+// any number of times, concurrently or repeatedly, with identical
+// results. To resume logging commits, call EnableWAL afterwards (it
+// truncates the torn tail, if any, and appends from ValidPos).
+func OpenFromDir(fs FS, dir string, opts ...Option) (*System, RecoveryInfo, error) {
+	var info RecoveryInfo
+	seq, man, ok, err := checkpoint.Latest(fs, dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("elastichtap: OpenFromDir: %w", err)
+	}
+	if !ok {
+		return nil, info, fmt.Errorf("elastichtap: OpenFromDir: no complete checkpoint under %s", dir)
+	}
+	info.Seq = seq
+	info.WALPos = man.WALPos
+
+	sizing := ch.Sizing{
+		Warehouses:           int(man.Extras[extraWarehouses]),
+		DistrictsPerWH:       int(man.Extras[extraDistricts]),
+		CustomersPerDistrict: int(man.Extras[extraCustomers]),
+		Items:                int(man.Extras[extraItems]),
+		OrdersPerDistrict:    int(man.Extras[extraOrders]),
+		OrderLinesPerOrder:   int(man.Extras[extraOrderLines]),
+	}
+	if sizing.Warehouses <= 0 {
+		return nil, info, fmt.Errorf("elastichtap: OpenFromDir: manifest missing sizing extras")
+	}
+
+	s, err := New(opts...)
+	if err != nil {
+		return nil, info, err
+	}
+	db := ch.Attach(s.inner.OLTPE, sizing)
+	db.SetDay(man.Extras[extraDay])
+	s.db = db
+
+	seqDir := checkpoint.SeqDir(dir, seq)
+	for _, te := range man.Tables {
+		h := db.Handle(te.Name)
+		if h == nil {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: manifest names unknown table %q", te.Name)
+		}
+		path := seqDir + "/" + te.Name + ".ehcp"
+		crc, err := checkpoint.FileCRC(fs, path)
+		if err != nil {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: %w", err)
+		}
+		if crc != te.FileCRC {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: %s: file checksum %08x, manifest says %08x",
+				path, crc, te.FileCRC)
+		}
+		f, err := fs.Open(path)
+		if err != nil {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: %w", err)
+		}
+		err = checkpoint.ReadInto(f, h.Table())
+		f.Close()
+		if err != nil {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: restoring %q: %w", te.Name, err)
+		}
+		if h.Table().Rows() != te.Rows {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: %q restored %d rows, manifest says %d",
+				te.Name, h.Table().Rows(), te.Rows)
+		}
+		// The restore appended every row, marking them all OLAP-stale;
+		// the manifest knows which rows actually were.
+		bits := h.Table().DirtyOLAP()
+		bits.Reset()
+		for _, row := range te.Dirty {
+			bits.Set(int(row))
+		}
+	}
+
+	// Replay the WAL suffix. Records apply exactly as live commits did —
+	// same order, same commit timestamps — so inserts reassign identical
+	// row IDs and staleness bits evolve identically.
+	mgr := s.inner.OLTPE.Manager()
+	clock := man.Clock
+	if f, err := fs.Open(dir + "/" + walName); err == nil {
+		st, rerr := wal.Replay(f, man.WALPos, func(_ int64, rec *wal.Record) error {
+			if rec.CommitTS > clock {
+				clock = rec.CommitTS
+			}
+			return applyRecord(db, rec)
+		})
+		f.Close()
+		if rerr != nil {
+			s.Close()
+			return nil, info, fmt.Errorf("elastichtap: OpenFromDir: replaying log: %w", rerr)
+		}
+		info.ValidPos = st.ValidPos
+		info.Replayed = st.Replayed
+		info.Truncated = st.Truncated
+	}
+
+	db.RebuildIndexes()
+
+	// Replica watermarks: re-copy the prefix each replica had absorbed.
+	// Content for updated rows comes from the restored (fully applied)
+	// table rather than the historical ETL — unobservable, because those
+	// rows keep their staleness bits and are re-copied before any replica
+	// read (S2 ETLs first; split access excludes updated tables).
+	for _, te := range man.Tables {
+		h := db.Handle(te.Name)
+		rep := s.inner.X.Replica(h)
+		if te.ReplicaRows > 0 {
+			rep.CopyInserts(h.Table().Active(), 0, te.ReplicaRows)
+		}
+	}
+
+	mgr.RestoreState(clock, man.Commits+uint64(info.Replayed))
+	info.Commits = mgr.Commits()
+	return s, info, nil
+}
+
+// applyRecord applies one replayed commit record to the database,
+// mirroring Txn.Commit's apply step.
+func applyRecord(db *ch.DB, rec *wal.Record) error {
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		h := db.Handle(op.Table)
+		if h == nil {
+			return fmt.Errorf("log names unknown table %q", op.Table)
+		}
+		t := h.Table()
+		switch op.Kind {
+		case wal.OpUpdate:
+			if op.Row >= t.Rows() {
+				return fmt.Errorf("log updates row %d of %q beyond %d rows", op.Row, op.Table, t.Rows())
+			}
+			t.BeginApply()
+			t.UpdateCell(op.Row, int(op.Col), op.Val, rec.CommitTS)
+			t.EndApply()
+		case wal.OpInsert:
+			if op.Width != len(t.Schema().Columns) {
+				return fmt.Errorf("log inserts width %d into %q (width %d)", op.Width, op.Table, len(t.Schema().Columns))
+			}
+			rows := make([][]int64, op.NRows)
+			for r := 0; r < op.NRows; r++ {
+				rows[r] = op.Vals[r*op.Width : (r+1)*op.Width]
+			}
+			t.AppendRows(rows, rec.CommitTS)
+		default:
+			return fmt.Errorf("log op kind %d", op.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package elastichtap
+
+import (
+	"testing"
+
+	"elastichtap/internal/wal"
+)
+
+// benchImage builds a durable image — bootstrap checkpoint plus a WAL
+// suffix of b-agnostic fixed size — for the recovery benchmarks.
+func benchImage(b *testing.B, txns int) *wal.MemFS {
+	b.Helper()
+	fs := wal.NewMemFS()
+	sys, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	sys.LoadCH(0.005, 7)
+	if err := sys.EnableWAL(fs, "data", SyncNever, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.CheckpointDB(fs, "data"); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.StartWorkload(30); err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(txns)
+	if err := sys.WAL().Sync(); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// BenchmarkCheckpointDB measures one whole-database checkpoint — the
+// barrier capture plus streaming every table — on a loaded system.
+func BenchmarkCheckpointDB(b *testing.B) {
+	sys, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	sys.LoadCH(0.005, 7)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		fs := wal.NewMemFS()
+		if _, err := sys.CheckpointDB(fs, "data"); err != nil {
+			b.Fatal(err)
+		}
+		bytes = fs.BytesWritten()
+	}
+	b.SetBytes(bytes)
+}
+
+// BenchmarkRecovery measures OpenFromDir end to end — manifest read,
+// checksum-verified table restore, WAL replay, index rebuild, replica
+// re-copy — from an image with a 500-transaction log suffix.
+func BenchmarkRecovery(b *testing.B) {
+	fs := benchImage(b, 500)
+	img := fs.Crash(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, info, err := OpenFromDir(img, "data")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(info.Replayed), "replayed-txns")
+		}
+		sys.Close()
+	}
+	b.SetBytes(fs.BytesWritten())
+}

@@ -532,6 +532,13 @@ func (s *System) Checkpoint(w io.Writer, table string) (int64, error) {
 	// mid-write for tables that take in-place updates.
 	snap, release := s.inner.PinnedSnapshot(h)
 	defer release()
+	if snap.Rows == 0 {
+		// A zero-row image of a populated table means the caller raced
+		// the load (or named a never-loaded table); it used to serialize
+		// silently and restore to nothing. Whole-database images, where
+		// empty tables are legitimate, go through CheckpointDB.
+		return 0, fmt.Errorf("elastichtap: Checkpoint %q: table snapshot has no rows (use CheckpointDB for whole-database images)", table)
+	}
 	if err := checkpoint.Write(w, h.Table(), snap.Inst, snap.Rows); err != nil {
 		return 0, err
 	}

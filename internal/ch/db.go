@@ -46,6 +46,9 @@ func (db *DB) Day() int64 { return db.day.Load() }
 // AdvanceDay moves the logical date forward by n days.
 func (db *DB) AdvanceDay(n int64) { db.day.Add(n) }
 
+// SetDay restores the logical date (recovery only).
+func (db *DB) SetDay(d int64) { db.day.Store(d) }
+
 // Tables returns every table handle, fact tables first.
 func (db *DB) Tables() []*oltp.TableHandle {
 	return []*oltp.TableHandle{
@@ -96,11 +99,11 @@ var nationNames = []string{
 
 var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
 
-// Load generates and loads a deterministic CH-benCHmark database into the
-// engine. Loaded rows carry commit timestamp 0 (visible to every
-// snapshot); primary-key indexes are populated as rows land.
-func Load(e *oltp.Engine, s Sizing, seed int64) *DB {
-	rng := rand.New(rand.NewSource(seed))
+// Attach creates the CH-benCHmark tables (empty, with their index
+// plumbing) in the engine and returns the database shell. Load fills it
+// with generated data; recovery fills it from a checkpoint instead and
+// then calls RebuildIndexes.
+func Attach(e *oltp.Engine, s Sizing) *DB {
 	db := &DB{Engine: e, Sizing: s}
 	db.day.Store(LoadDay)
 
@@ -117,12 +120,49 @@ func Load(e *oltp.Engine, s Sizing, seed int64) *DB {
 	db.Supplier = e.CreateTable(schemas[TSupplier], 100, true)
 	db.Nation = e.CreateTable(schemas[TNation], int64(len(nationNames)), true)
 	db.Region = e.CreateTable(schemas[TRegion], int64(len(regionNames)), true)
+	return db
+}
 
+// Load generates and loads a deterministic CH-benCHmark database into the
+// engine. Loaded rows carry commit timestamp 0 (visible to every
+// snapshot); primary-key indexes are populated as rows land.
+func Load(e *oltp.Engine, s Sizing, seed int64) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := Attach(e, s)
 	db.loadDimensions(rng)
 	db.loadStockItems(rng)
 	db.loadCustomers(rng)
 	db.loadOrders(rng)
 	return db
+}
+
+// RebuildIndexes repopulates every primary-key index from table contents
+// — the recovery path after checkpoint restore and WAL replay, where rows
+// land without going through the loader or the transaction bodies that
+// normally maintain the indexes.
+func (db *DB) RebuildIndexes() {
+	type keyed struct {
+		h   *oltp.TableHandle
+		key func(read func(col int) int64) uint64
+	}
+	for _, k := range []keyed{
+		{db.Warehouse, func(r func(int) int64) uint64 { return WarehouseKey(r(WID)) }},
+		{db.District, func(r func(int) int64) uint64 { return DistrictKey(r(DWID), r(DID)) }},
+		{db.Customer, func(r func(int) int64) uint64 { return CustomerKey(r(CWID), r(CDID), r(CID)) }},
+		{db.Orders, func(r func(int) int64) uint64 { return OrderKey(r(OWID), r(ODID), r(OID)) }},
+		{db.Item, func(r func(int) int64) uint64 { return ItemKey(r(IID)) }},
+		{db.Stock, func(r func(int) int64) uint64 { return StockKey(r(SWID), r(SIID)) }},
+		{db.Supplier, func(r func(int) int64) uint64 { return uint64(r(SuSuppkey)) }},
+		{db.Nation, func(r func(int) int64) uint64 { return uint64(r(NNationkey)) }},
+		{db.Region, func(r func(int) int64) uint64 { return uint64(r(RRegionkey)) }},
+	} {
+		t := k.h.Table()
+		rows := t.Rows()
+		for row := int64(0); row < rows; row++ {
+			key := k.key(func(col int) int64 { return t.ReadActive(row, col) })
+			k.h.Index.Put(key, uint64(row))
+		}
+	}
 }
 
 func (db *DB) loadDimensions(rng *rand.Rand) {

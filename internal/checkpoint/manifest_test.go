@@ -1,0 +1,211 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"elastichtap/internal/ch"
+	"elastichtap/internal/columnar"
+	"elastichtap/internal/oltp"
+	"elastichtap/internal/wal"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Clock:   1234,
+		Commits: 567,
+		WALPos:  8910,
+		Extras:  map[string]int64{"day": 18262, "warehouses": 14},
+		Tables: []TableEntry{
+			{Name: "warehouse", Rows: 14, ReplicaRows: 14, Dirty: []int64{0, 3, 7}, FileCRC: 0xdeadbeef},
+			{Name: "neworder", Rows: 0, ReplicaRows: 0, FileCRC: 1},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	want := sampleManifest()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Extras, want.Extras) ||
+		got.Clock != want.Clock || got.Commits != want.Commits || got.WALPos != want.WALPos {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	for i := range want.Tables {
+		w, g := want.Tables[i], got.Tables[i]
+		if g.Name != w.Name || g.Rows != w.Rows || g.ReplicaRows != w.ReplicaRows ||
+			g.FileCRC != w.FileCRC || len(g.Dirty) != len(w.Dirty) {
+			t.Fatalf("table %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, at := range []int{9, len(raw) / 2, len(raw) - 5} {
+		mut := append([]byte(nil), raw...)
+		mut[at] ^= 0x08
+		if _, err := ReadManifest(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at %d accepted", at)
+		}
+	}
+	for _, cut := range []int{3, 17, len(raw) - 1} {
+		if _, err := ReadManifest(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestCheckpointBitFlipDetected pins the v2 per-section checksums: any
+// single flipped bit in a table checkpoint must fail the restore rather
+// than silently corrupting data — the regression the version bump fixes.
+func TestCheckpointBitFlipDetected(t *testing.T) {
+	db := ch.Load(oltp.NewEngine(), ch.TinySizing(), 3)
+	tab := db.District.Table()
+	sw := tab.Switch()
+	var buf bytes.Buffer
+	if err := Write(&buf, tab, sw.Snapshot, sw.SnapshotRows); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a bit in the header, in column data, and near the dictionaries.
+	for _, at := range []int{10, len(raw) / 3, len(raw) / 2, len(raw) - 20} {
+		mut := append([]byte(nil), raw...)
+		mut[at] ^= 0x01
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at offset %d restored without error", at)
+		}
+	}
+}
+
+// TestReadsVersion1 keeps backward compatibility: a v1 file (no section
+// checksums) must still restore.
+func TestReadsVersion1(t *testing.T) {
+	tab := columnar.NewTable(columnar.Schema{
+		Name:    "v1tab",
+		Columns: []columnar.ColumnDef{{Name: "a", Type: columnar.Int64}, {Name: "b", Type: columnar.Int64}},
+	}, 4)
+	tab.AppendRows([][]int64{{1, 10}, {2, 20}, {3, 30}}, 0)
+
+	// Hand-write the v1 format: identical to v2 minus every checksum.
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	w32 := func(v uint32) { b := make([]byte, 4); le.PutUint32(b, v); buf.Write(b) }
+	w64 := func(v uint64) { b := make([]byte, 8); le.PutUint64(b, v); buf.Write(b) }
+	wstr := func(s string) { w32(uint32(len(s))); buf.WriteString(s) }
+	buf.WriteString(magic)
+	w32(oldVersion)
+	wstr("v1tab")
+	w32(2)
+	wstr("a")
+	buf.WriteByte(byte(columnar.Int64))
+	wstr("b")
+	buf.WriteByte(byte(columnar.Int64))
+	w64(3)
+	for _, v := range []int64{1, 2, 3, 10, 20, 30} {
+		w64(uint64(v))
+	}
+
+	restored, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rows() != 3 || restored.ReadActive(2, 1) != 30 {
+		t.Fatalf("v1 restore: rows=%d cell=%d", restored.Rows(), restored.ReadActive(2, 1))
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	src := columnar.NewTable(columnar.Schema{
+		Name:    "t",
+		Columns: []columnar.ColumnDef{{Name: "v", Type: columnar.Int64}},
+	}, 4)
+	src.AppendRows([][]int64{{5}, {6}}, 0)
+	sw := src.Switch()
+	var buf bytes.Buffer
+	if err := Write(&buf, src, sw.Snapshot, sw.SnapshotRows); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := columnar.NewTable(src.Schema(), 4)
+	if err := ReadInto(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Rows() != 2 || dst.ReadActive(1, 0) != 6 {
+		t.Fatalf("ReadInto: rows=%d cell=%d", dst.Rows(), dst.ReadActive(1, 0))
+	}
+	// Non-empty destination refused.
+	if err := ReadInto(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Fatal("ReadInto into non-empty table accepted")
+	}
+	// Schema mismatch refused.
+	other := columnar.NewTable(columnar.Schema{
+		Name:    "other",
+		Columns: []columnar.ColumnDef{{Name: "v", Type: columnar.Int64}},
+	}, 4)
+	if err := ReadInto(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("ReadInto with mismatched schema accepted")
+	}
+}
+
+func TestLatestSkipsTornCheckpoints(t *testing.T) {
+	fs := wal.NewMemFS()
+	writeCkpt := func(seq uint64, m *Manifest, withManifest bool) {
+		dir := SeqDir("db", seq)
+		if err := fs.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create(dir + "/warehouse.ehcp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("data"))
+		f.Close()
+		if !withManifest {
+			return
+		}
+		mf, err := fs.Create(dir + "/" + ManifestName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteManifest(mf, m); err != nil {
+			t.Fatal(err)
+		}
+		mf.Close()
+	}
+
+	if _, _, ok, _ := Latest(fs, "db"); ok {
+		t.Fatal("empty dir reported a checkpoint")
+	}
+	writeCkpt(1, &Manifest{Clock: 1}, true)
+	writeCkpt(2, &Manifest{Clock: 2}, true)
+	writeCkpt(3, nil, false) // torn: no manifest
+	seq, m, ok, err := Latest(fs, "db")
+	if err != nil || !ok || seq != 2 || m.Clock != 2 {
+		t.Fatalf("Latest = seq %d clock %d ok %v err %v, want seq 2", seq, m.Clock, ok, err)
+	}
+	if next := NextSeq(fs, "db"); next != 4 {
+		t.Fatalf("NextSeq = %d, want 4 (above the torn 3)", next)
+	}
+
+	// A corrupt manifest is torn too.
+	mf, _ := fs.Create(SeqDir("db", 4) + "/" + ManifestName)
+	mf.Write([]byte("EHMFgarbage"))
+	mf.Close()
+	seq, _, ok, _ = Latest(fs, "db")
+	if !ok || seq != 2 {
+		t.Fatalf("corrupt manifest not skipped: seq %d ok %v", seq, ok)
+	}
+}

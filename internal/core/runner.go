@@ -7,11 +7,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"elastichtap/internal/checkpoint"
 	"elastichtap/internal/costmodel"
 	"elastichtap/internal/olap"
 	"elastichtap/internal/oltp"
 	"elastichtap/internal/rde"
 	"elastichtap/internal/topology"
+	"elastichtap/internal/wal"
 	"elastichtap/internal/workload"
 )
 
@@ -487,4 +489,110 @@ func (s *System) PinnedSnapshot(h *oltp.TableHandle) (*rde.Snapshot, func()) {
 	set := s.X.SwitchAndSync([]*oltp.TableHandle{h})
 	name := h.Table().Schema().Name
 	return set.Snap(name), s.X.BeginScan(name)
+}
+
+// CheckpointDB writes a whole-database checkpoint under dir on cfs and
+// returns its sequence number. The capture runs under the admission lock
+// and the transaction manager's commit barrier: no query exchange cycle
+// and no commit sits between its WAL append and its in-memory
+// application, so the captured (WAL position, clock, commit count, table
+// watermarks, OLAP dirty bits) are one transaction-consistent cut. The
+// quiesced switch then makes every inactive instance that cut's image.
+//
+// Streaming happens after the barrier releases — transactions and queries
+// proceed while table files are written from the pinned snapshot
+// instances (updates go to the re-activated twin; appends land beyond the
+// captured row watermarks). The manifest is written last, after every
+// table file is synced: a crash mid-checkpoint leaves a manifest-less
+// directory that recovery ignores.
+func (s *System) CheckpointDB(cfs wal.FS, dir string, extras map[string]int64) (uint64, error) {
+	tables := s.OLTPE.Tables()
+	mgr := s.OLTPE.Manager()
+
+	type capture struct {
+		h     *oltp.TableHandle
+		snap  *rde.Snapshot
+		entry checkpoint.TableEntry
+		unpin func()
+	}
+	var caps []capture
+	man := &checkpoint.Manifest{Extras: extras}
+
+	s.admitMu.Lock()
+	mgr.CommitBarrier(func() {
+		set := s.X.SwitchAndSyncQuiesced(tables)
+		if l := mgr.WAL(); l != nil {
+			man.WALPos = l.Pos()
+		}
+		man.Clock = mgr.Now()
+		man.Commits = mgr.Commits()
+		for _, h := range tables {
+			t := h.Table()
+			name := t.Schema().Name
+			snap := set.Snap(name)
+			var dirty []int64
+			t.DirtyOLAP().ForEachSet(func(i int) { dirty = append(dirty, int64(i)) })
+			caps = append(caps, capture{
+				h:    h,
+				snap: snap,
+				entry: checkpoint.TableEntry{
+					Name:        name,
+					Rows:        snap.Rows,
+					ReplicaRows: s.X.Replica(h).Rows(),
+					Dirty:       dirty,
+				},
+				unpin: s.X.BeginScan(name),
+			})
+		}
+	})
+	s.admitMu.Unlock()
+	defer func() {
+		for _, c := range caps {
+			c.unpin()
+		}
+	}()
+
+	seq := checkpoint.NextSeq(cfs, dir)
+	seqDir := checkpoint.SeqDir(dir, seq)
+	if err := cfs.MkdirAll(seqDir); err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", seqDir, err)
+	}
+	for i := range caps {
+		c := &caps[i]
+		path := seqDir + "/" + c.entry.Name + ".ehcp"
+		f, err := cfs.Create(path)
+		if err != nil {
+			return 0, fmt.Errorf("core: checkpoint %s: %w", path, err)
+		}
+		err = checkpoint.Write(f, c.h.Table(), c.snap.Inst, c.entry.Rows)
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return 0, fmt.Errorf("core: checkpoint %s: %w", path, err)
+		}
+		if c.entry.FileCRC, err = checkpoint.FileCRC(cfs, path); err != nil {
+			return 0, fmt.Errorf("core: checkpoint %s: %w", path, err)
+		}
+		man.Tables = append(man.Tables, c.entry)
+	}
+	mpath := seqDir + "/" + checkpoint.ManifestName
+	mf, err := cfs.Create(mpath)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", mpath, err)
+	}
+	err = checkpoint.WriteManifest(mf, man)
+	if err == nil {
+		err = mf.Sync()
+	}
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", mpath, err)
+	}
+	return seq, nil
 }

@@ -8,6 +8,7 @@ package rde
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/costmodel"
@@ -43,10 +44,33 @@ type Exchange struct {
 	latchMu sync.Mutex
 	latches map[string]*sync.RWMutex //htap:guardedby latchMu
 
+	// probe, when set, fires at named internal points: "switch" after a
+	// table's instance switch but before the twin sync, "etl" between a
+	// table's update copy and its insert copy. The crash harness injects
+	// a panicking probe to model process death mid-exchange; production
+	// leaves it nil.
+	probe atomic.Pointer[func(point, table string)]
+
 	// lifetime counters (diagnostics and tests)
 	switches   int64 //htap:guardedby mu
 	syncedRows int64 //htap:guardedby mu
 	etlBytes   int64 //htap:guardedby mu
+}
+
+// SetProbe installs (or, with nil, removes) the internal fault probe.
+func (x *Exchange) SetProbe(fn func(point, table string)) {
+	if fn == nil {
+		x.probe.Store(nil)
+		return
+	}
+	x.probe.Store(&fn)
+}
+
+// fireProbe invokes the installed probe, if any.
+func (x *Exchange) fireProbe(point, table string) {
+	if fn := x.probe.Load(); fn != nil {
+		(*fn)(point, table)
+	}
 }
 
 // New wires an exchange over the two engines. The OLTP engine keeps socket
@@ -136,6 +160,19 @@ func (s *SnapshotSet) Snap(name string) *Snapshot {
 // active instance, taking per-record locks through the shared lock table
 // so copies never race committing transactions (§3.4).
 func (x *Exchange) SwitchAndSync(tables []*oltp.TableHandle) *SnapshotSet {
+	return x.switchAndSync(tables, true)
+}
+
+// SwitchAndSyncQuiesced is SwitchAndSync for callers that have excluded
+// commit application (txn.Manager.CommitBarrier): no commit is mid-apply,
+// so cells are stable and the twin sync skips the per-record locks —
+// which would deadlock against a committer already holding record locks
+// while blocked on the barrier.
+func (x *Exchange) SwitchAndSyncQuiesced(tables []*oltp.TableHandle) *SnapshotSet {
+	return x.switchAndSync(tables, false)
+}
+
+func (x *Exchange) switchAndSync(tables []*oltp.TableHandle, recordLocks bool) *SnapshotSet {
 	// One exchange at a time: concurrent switch+sync cycles would hand out
 	// overlapping snapshots and race the twin synchronization.
 	x.exchangeMu.Lock()
@@ -156,12 +193,17 @@ func (x *Exchange) SwitchAndSync(tables []*oltp.TableHandle) *SnapshotSet {
 			}
 			ts := x.OLTP.Manager().Now()
 			sw := t.Switch()
+			x.fireProbe("switch", t.Schema().Name)
 			tabID := h.Ref.ID
-			copied := t.SyncTo(sw.SnapshotIndex, func(row int64) func() {
+			lock := func(row int64) func() {
 				k := txn.LockKey{Tab: tabID, Row: row}
 				locks.AcquireSync(k)
 				return func() { locks.Release(k) }
-			})
+			}
+			if !recordLocks {
+				lock = func(int64) func() { return func() {} }
+			}
+			copied := t.SyncTo(sw.SnapshotIndex, lock)
 			set.CopiedRows += int64(copied)
 			set.SyncSeconds += x.Model.SyncTime(int64(copied), sw.SnapshotRows)
 			if h.Sec != nil {
@@ -220,6 +262,7 @@ func (x *Exchange) ETL(set *SnapshotSet) ETLResult {
 		} else {
 			res.addUpdates(snap, t, rep, repRows)
 		}
+		x.fireProbe("etl", t.Schema().Name)
 		if snap.Rows > repRows {
 			res.Bytes += rep.CopyInserts(snap.Inst, repRows, snap.Rows)
 			res.InsertedRows += snap.Rows - repRows

@@ -9,6 +9,7 @@ import (
 
 	"elastichtap/internal/columnar"
 	"elastichtap/internal/vm"
+	"elastichtap/internal/wal"
 )
 
 // ErrConflict is returned when first-updater-wins validation fails: the
@@ -53,6 +54,14 @@ type Manager struct {
 	active map[uint64]struct{}
 	policy ConflictPolicy
 
+	// log, when set, receives every committed write set before it is
+	// applied (write-ahead). gate lets a checkpoint exclude the window
+	// between a commit's log append and its in-memory application, so a
+	// captured (WAL position, table state) pair is always transaction
+	// consistent: committers hold it shared, CommitBarrier exclusive.
+	log  atomic.Pointer[wal.Log]
+	gate sync.RWMutex
+
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 }
@@ -94,6 +103,31 @@ func (m *Manager) Policy() ConflictPolicy {
 
 // Now returns the current timestamp without advancing the clock.
 func (m *Manager) Now() uint64 { return m.clock.Load() }
+
+// SetWAL attaches a commit log: every later commit appends its write set
+// (and commit timestamp) to l before applying it in memory. Attach the
+// log before the workload starts; pass nil to detach.
+func (m *Manager) SetWAL(l *wal.Log) { m.log.Store(l) }
+
+// WAL returns the attached commit log, or nil.
+func (m *Manager) WAL() *wal.Log { return m.log.Load() }
+
+// CommitBarrier runs fn while no commit sits between its log append and
+// its in-memory application. A checkpoint captures its WAL position,
+// clock and table watermarks inside fn, making the checkpoint image plus
+// WAL-suffix replay exactly equal to the live state.
+func (m *Manager) CommitBarrier(fn func()) {
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	fn()
+}
+
+// RestoreState seeds the timestamp clock and commit counter after a
+// recovery, so restored and never-crashed engines agree on both.
+func (m *Manager) RestoreState(clock, commits uint64) {
+	m.clock.Store(clock)
+	m.commits.Store(commits)
+}
 
 // Commits and Aborts report lifetime counters.
 func (m *Manager) Commits() uint64 { return m.commits.Load() }
@@ -345,11 +379,21 @@ func (t *Txn) Insert(ref *TableRef, rows [][]int64, onCommit func(firstRow int64
 
 // Commit applies the write set to the active instances, pushing full-row
 // pre-images to the delta store first (newest-to-oldest chains), appends
-// inserts to both instances, and releases all locks.
+// inserts to both instances, and releases all locks. With a WAL attached
+// (Manager.SetWAL) the write set is appended to the log first; the
+// in-memory application runs under the log's lock, so log order equals
+// apply order and insert replay reassigns identical row IDs.
+//
+// A nil return means committed and durable per the log's sync policy. An
+// error satisfying wal.IsSyncFailure means the commit DID apply in
+// memory — reads will see it — but the fsync failed, so it may not
+// survive a crash; the log refuses further appends. Any other log error
+// means the commit never applied and the transaction aborted.
 func (t *Txn) Commit() error {
 	if t.status != statusActive {
 		return ErrAborted
 	}
+	t.m.gate.RLock()
 	commitTS := t.m.clock.Add(1)
 
 	// Apply the write set in place, pinning each table's active instance
@@ -365,24 +409,81 @@ func (t *Txn) Commit() error {
 		}
 		perTable[w.ref] = append(perTable[w.ref], w)
 	}
-	for _, ref := range order {
-		ref.Table.BeginApply()
-		for _, w := range perTable[ref] {
-			ref.Table.UpdateCell(w.row, w.col, w.val, commitTS)
+	apply := func() {
+		for _, ref := range order {
+			ref.Table.BeginApply()
+			for _, w := range perTable[ref] {
+				ref.Table.UpdateCell(w.row, w.col, w.val, commitTS)
+			}
+			ref.Table.EndApply()
 		}
-		ref.Table.EndApply()
-	}
-	for _, ins := range t.inserts {
-		first := ins.ref.Table.AppendRows(ins.rows, commitTS)
-		if ins.onCommit != nil {
-			ins.onCommit(first)
+		for _, ins := range t.inserts {
+			first := ins.ref.Table.AppendRows(ins.rows, commitTS)
+			if ins.onCommit != nil {
+				ins.onCommit(first)
+			}
 		}
 	}
+
+	var syncErr error
+	if log := t.m.log.Load(); log != nil {
+		// Read-only transactions log a zero-op record too: recovery then
+		// reconstructs the exact clock and commit count, not just state.
+		if _, err := log.Append(t.record(commitTS), apply); err != nil {
+			if !wal.IsSyncFailure(err) {
+				// The record never reached the log and apply did not run:
+				// nothing committed. Abort.
+				t.m.gate.RUnlock()
+				t.releaseAll()
+				t.status = statusAborted
+				t.m.finish(t)
+				t.m.aborts.Add(1)
+				return fmt.Errorf("txn: commit log append: %w", err)
+			}
+			syncErr = err
+		}
+	} else {
+		apply()
+	}
+	t.m.gate.RUnlock()
 	t.releaseAll()
 	t.status = statusCommitted
 	t.m.finish(t)
 	t.m.commits.Add(1)
-	return nil
+	return syncErr
+}
+
+// record builds the WAL record for this transaction's write set.
+func (t *Txn) record(commitTS uint64) *wal.Record {
+	rec := &wal.Record{TxnID: t.begin, CommitTS: commitTS}
+	rec.Ops = make([]wal.Op, 0, len(t.writes)+len(t.inserts))
+	for _, w := range t.writes {
+		rec.Ops = append(rec.Ops, wal.Op{
+			Kind:  wal.OpUpdate,
+			Table: w.ref.Table.Schema().Name,
+			Row:   w.row,
+			Col:   uint32(w.col),
+			Val:   w.val,
+		})
+	}
+	for _, ins := range t.inserts {
+		if len(ins.rows) == 0 {
+			continue
+		}
+		width := len(ins.rows[0])
+		vals := make([]int64, 0, len(ins.rows)*width)
+		for _, r := range ins.rows {
+			vals = append(vals, r...)
+		}
+		rec.Ops = append(rec.Ops, wal.Op{
+			Kind:  wal.OpInsert,
+			Table: ins.ref.Table.Schema().Name,
+			NRows: len(ins.rows),
+			Width: width,
+			Vals:  vals,
+		})
+	}
+	return rec
 }
 
 // Abort drops buffered work and releases all locks.

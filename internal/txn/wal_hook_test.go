@@ -1,0 +1,133 @@
+package txn
+
+import (
+	"testing"
+
+	"elastichtap/internal/wal"
+)
+
+// TestCommitWritesAhead verifies the WAL hook: every commit (including a
+// read-only one) lands a record carrying the commit timestamp and full
+// write set before the commit returns, and a failed append aborts the
+// transaction instead of half-applying it.
+func TestCommitWritesAhead(t *testing.T) {
+	m, ref := newTestTable(t, 2)
+	fs := wal.NewMemFS()
+	l, err := wal.Open(fs, "wal.log", wal.SyncAlways, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWAL(l)
+
+	// Update + insert in one transaction.
+	tx := m.Begin()
+	if err := tx.Write(ref, 0, 1, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(ref, [][]int64{{9, 900}, {10, 1000}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Read-only transaction: still logged, so recovery reproduces the
+	// exact clock and commit count.
+	ro := m.Begin()
+	if _, ok := ro.Read(ref, 0, 1); !ok {
+		t.Fatal("read failed")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := fs.Open("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []*wal.Record
+	st, err := wal.Replay(f, 0, func(_ int64, rec *wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil || st.Truncated || len(recs) != 2 {
+		t.Fatalf("replay: err=%v stats=%+v records=%d", err, st, len(recs))
+	}
+	first := recs[0]
+	if first.CommitTS == 0 || len(first.Ops) != 2 {
+		t.Fatalf("first record %+v", first)
+	}
+	up, ins := first.Ops[0], first.Ops[1]
+	if up.Kind != wal.OpUpdate || up.Table != "acct" || up.Row != 0 || up.Col != 1 || up.Val != 777 {
+		t.Fatalf("update op %+v", up)
+	}
+	if ins.Kind != wal.OpInsert || ins.NRows != 2 || ins.Width != 2 ||
+		ins.Vals[0] != 9 || ins.Vals[3] != 1000 {
+		t.Fatalf("insert op %+v", ins)
+	}
+	if got := recs[1]; len(got.Ops) != 0 || got.CommitTS <= first.CommitTS {
+		t.Fatalf("read-only record %+v", got)
+	}
+}
+
+func TestCommitAbortsWhenAppendFails(t *testing.T) {
+	m, ref := newTestTable(t, 2)
+	fs := wal.NewMemFS()
+	l, err := wal.Open(fs, "wal.log", wal.SyncAlways, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWAL(l)
+	fs.CrashAfterWrite(0)
+
+	tx := m.Begin()
+	if err := tx.Write(ref, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil || wal.IsSyncFailure(err) {
+		t.Fatalf("commit with dead log = %v, want hard append failure", err)
+	}
+	if m.Commits() != 0 || m.Aborts() != 1 {
+		t.Fatalf("commits=%d aborts=%d", m.Commits(), m.Aborts())
+	}
+	// The write must not have applied, and the lock must be free.
+	check := m.Begin()
+	defer check.Abort()
+	if v, _ := check.Read(ref, 0, 1); v != 100 {
+		t.Fatalf("aborted commit leaked value %d", v)
+	}
+	if err := check.Write(ref, 0, 1, 6); err != nil {
+		t.Fatalf("lock not released: %v", err)
+	}
+}
+
+func TestCommitSyncFailureStillApplies(t *testing.T) {
+	m, ref := newTestTable(t, 2)
+	fs := wal.NewMemFS()
+	l, err := wal.Open(fs, "wal.log", wal.SyncAlways, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWAL(l)
+	fs.FailSyncs(0)
+
+	tx := m.Begin()
+	if err := tx.Write(ref, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if !wal.IsSyncFailure(err) {
+		t.Fatalf("commit err = %v, want sync failure", err)
+	}
+	if m.Commits() != 1 {
+		t.Fatalf("commits=%d, want 1: the commit applied", m.Commits())
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if v, _ := check.Read(ref, 0, 1); v != 5 {
+		t.Fatalf("sync-failed commit not visible: %d", v)
+	}
+}
